@@ -1,0 +1,49 @@
+"""Quickstart: compare NoIndex, PDTool and the MAB tuner on a small TPC-H setup.
+
+Runs a short static workload (the paper's Figure 2/3 setting, scaled down so
+it finishes in a few seconds) and prints the per-round convergence series and
+the end-to-end totals.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.harness import (
+    ExperimentSettings,
+    convergence_series,
+    speedup_summary,
+    static_experiment,
+    totals_summary,
+)
+
+
+def main() -> None:
+    settings = ExperimentSettings.quick().with_overrides(
+        static_rounds=10,
+        sample_rows=2000,
+    )
+    print("Running a 10-round static TPC-H experiment (NoIndex vs PDTool vs MAB)...")
+    reports = static_experiment("tpch", settings)
+
+    print("\nTotal time per round (model-seconds), one column per tuner:")
+    print(convergence_series(reports))
+
+    print("\nEnd-to-end totals:")
+    print(totals_summary(reports))
+    print()
+    print(speedup_summary(reports, candidate="MAB", baseline="PDTool"))
+    print(speedup_summary(reports, candidate="MAB", baseline="NoIndex"))
+
+    mab = reports["MAB"]
+    print(
+        f"\nMAB spent {mab.total_recommendation_seconds:.2f}s recommending, "
+        f"{mab.total_creation_seconds:.0f}s creating indexes and "
+        f"{mab.total_execution_seconds:.0f}s executing queries."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Baseline tuners the paper compares the bandit against."""
+
+from .ddqn import DDQNConfig, DDQNTuner, build_ddqn_sc
+from .neural import MLP, MLPConfig
+from .noindex import NoIndexTuner
+from .pdtool import PDToolConfig, PDToolTuner
+from .replay import ReplayBuffer, Transition
+
+__all__ = [
+    "DDQNConfig",
+    "DDQNTuner",
+    "MLP",
+    "MLPConfig",
+    "NoIndexTuner",
+    "PDToolConfig",
+    "PDToolTuner",
+    "ReplayBuffer",
+    "Transition",
+    "build_ddqn_sc",
+]

@@ -1,0 +1,136 @@
+"""A small fully connected neural network on numpy.
+
+Used by the DDQN baseline (Section V-C): the paper's agent has 4 hidden layers
+of 8 neurons each.  The implementation supports ReLU activations, mean squared
+error loss and Adam updates, which is everything double Q-learning needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class _AdamState:
+    """Per-parameter Adam accumulator."""
+
+    m: np.ndarray
+    v: np.ndarray
+
+
+@dataclass
+class MLPConfig:
+    """Architecture and optimiser settings."""
+
+    input_dim: int
+    hidden_layers: tuple[int, ...] = (8, 8, 8, 8)
+    output_dim: int = 1
+    learning_rate: float = 1e-3
+    adam_beta1: float = 0.9
+    adam_beta2: float = 0.999
+    adam_epsilon: float = 1e-8
+    seed: int = 23
+
+    def __post_init__(self) -> None:
+        if self.input_dim <= 0 or self.output_dim <= 0:
+            raise ValueError("input_dim and output_dim must be positive")
+        if any(width <= 0 for width in self.hidden_layers):
+            raise ValueError("hidden layer widths must be positive")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+
+
+class MLP:
+    """A ReLU multilayer perceptron trained with Adam on squared error."""
+
+    def __init__(self, config: MLPConfig):
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        sizes = [config.input_dim, *config.hidden_layers, config.output_dim]
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        for fan_in, fan_out in zip(sizes, sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self.weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+        self._adam_w = [_AdamState(np.zeros_like(w), np.zeros_like(w)) for w in self.weights]
+        self._adam_b = [_AdamState(np.zeros_like(b), np.zeros_like(b)) for b in self.biases]
+        self._steps = 0
+
+    # ------------------------------------------------------------------ #
+    # inference
+    # ------------------------------------------------------------------ #
+    def forward(self, inputs: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Return outputs and the per-layer activations needed for backprop."""
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
+        activations = [inputs]
+        current = inputs
+        last = len(self.weights) - 1
+        for layer, (weight, bias) in enumerate(zip(self.weights, self.biases)):
+            current = current @ weight + bias
+            if layer != last:
+                current = np.maximum(current, 0.0)
+            activations.append(current)
+        return current, activations
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        outputs, _ = self.forward(inputs)
+        return outputs
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+    def train_step(self, inputs: np.ndarray, targets: np.ndarray) -> float:
+        """One Adam step on mean squared error; returns the batch loss."""
+        targets = np.atleast_2d(np.asarray(targets, dtype=float))
+        outputs, activations = self.forward(inputs)
+        if targets.shape != outputs.shape:
+            targets = targets.reshape(outputs.shape)
+        batch = outputs.shape[0]
+        error = outputs - targets
+        loss = float(np.mean(error ** 2))
+
+        gradient = 2.0 * error / batch
+        weight_gradients: list[np.ndarray] = [np.zeros(0)] * len(self.weights)
+        bias_gradients: list[np.ndarray] = [np.zeros(0)] * len(self.biases)
+        for layer in reversed(range(len(self.weights))):
+            layer_input = activations[layer]
+            weight_gradients[layer] = layer_input.T @ gradient
+            bias_gradients[layer] = gradient.sum(axis=0)
+            if layer > 0:
+                gradient = gradient @ self.weights[layer].T
+                gradient = gradient * (activations[layer] > 0)
+
+        self._steps += 1
+        for layer in range(len(self.weights)):
+            self._adam_update(self.weights[layer], weight_gradients[layer], self._adam_w[layer])
+            self._adam_update(self.biases[layer], bias_gradients[layer], self._adam_b[layer])
+        return loss
+
+    def _adam_update(self, parameter: np.ndarray, gradient: np.ndarray, state: _AdamState) -> None:
+        beta1 = self.config.adam_beta1
+        beta2 = self.config.adam_beta2
+        state.m = beta1 * state.m + (1 - beta1) * gradient
+        state.v = beta2 * state.v + (1 - beta2) * gradient ** 2
+        m_hat = state.m / (1 - beta1 ** self._steps)
+        v_hat = state.v / (1 - beta2 ** self._steps)
+        parameter -= self.config.learning_rate * m_hat / (np.sqrt(v_hat) + self.config.adam_epsilon)
+
+    # ------------------------------------------------------------------ #
+    # parameter transfer (for the target network)
+    # ------------------------------------------------------------------ #
+    def get_parameters(self) -> list[np.ndarray]:
+        return [w.copy() for w in self.weights] + [b.copy() for b in self.biases]
+
+    def set_parameters(self, parameters: list[np.ndarray]) -> None:
+        n_layers = len(self.weights)
+        if len(parameters) != 2 * n_layers:
+            raise ValueError("parameter list does not match the network architecture")
+        for layer in range(n_layers):
+            self.weights[layer] = parameters[layer].copy()
+            self.biases[layer] = parameters[n_layers + layer].copy()
+
+    def copy_from(self, other: "MLP") -> None:
+        self.set_parameters(other.get_parameters())

@@ -1,0 +1,56 @@
+"""Experience replay buffer for the DDQN baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class Transition:
+    """One (state-action features, reward, next candidate features, done) sample.
+
+    Because the action space (candidate indexes) is dynamic, a transition
+    stores the feature vector of the *chosen* state-action pair and the
+    feature matrix of the candidate actions available in the next round, which
+    is what double Q-learning needs to form its bootstrapped target.
+    """
+
+    features: np.ndarray
+    reward: float
+    next_candidate_features: np.ndarray
+    done: bool
+
+
+class ReplayBuffer:
+    """Fixed-capacity FIFO replay buffer with uniform sampling."""
+
+    def __init__(self, capacity: int = 10_000, seed: int = 29):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._storage: list[Transition] = []
+        self._position = 0
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        return len(self._storage)
+
+    def add(self, transition: Transition) -> None:
+        if len(self._storage) < self.capacity:
+            self._storage.append(transition)
+        else:
+            self._storage[self._position] = transition
+        self._position = (self._position + 1) % self.capacity
+
+    def sample(self, batch_size: int) -> list[Transition]:
+        if not self._storage:
+            return []
+        batch_size = min(batch_size, len(self._storage))
+        positions = self._rng.choice(len(self._storage), size=batch_size, replace=False)
+        return [self._storage[int(i)] for i in positions]
+
+    def clear(self) -> None:
+        self._storage.clear()
+        self._position = 0

@@ -1,0 +1,139 @@
+"""The C²UCB contextual combinatorial bandit (Algorithm 1 of the paper).
+
+The learner maintains a single shared weight vector ``theta`` estimated by
+ridge regression over every (context, reward) observation from every arm that
+was ever played.  Because the knowledge lives in ``theta`` rather than in
+per-arm statistics, a brand-new arm with a known context can be scored without
+ever having been played — the property that makes workload-driven dynamic arm
+generation viable.
+
+Scores are upper confidence bounds::
+
+    ucb_i = theta' x_i  +  alpha_t * sqrt(x_i' V^{-1} x_i)
+
+where ``V`` is the regularised scatter matrix of the contexts of previously
+played arms.  The second term boosts arms whose contexts lie in underexplored
+directions of context space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class C2UCB:
+    """Contextual combinatorial UCB with a shared linear reward model."""
+
+    def __init__(self, dimension: int, regularisation: float = 1.0, seed: int = 17):
+        if dimension <= 0:
+            raise ValueError("dimension must be positive")
+        if regularisation <= 0:
+            raise ValueError("regularisation must be positive")
+        self.dimension = dimension
+        self.regularisation = regularisation
+        self._rng = np.random.default_rng(seed)
+        self.reset()
+
+    # ------------------------------------------------------------------ #
+    # state
+    # ------------------------------------------------------------------ #
+    def reset(self) -> None:
+        """Reinitialise ``V = lambda * I`` and ``b = 0`` (line 2 of Algorithm 1)."""
+        self._v = self.regularisation * np.eye(self.dimension)
+        self._b = np.zeros(self.dimension)
+        self._v_inverse: np.ndarray | None = None
+        self.rounds_observed = 0
+        self.observations = 0
+
+    @property
+    def scatter_matrix(self) -> np.ndarray:
+        """A copy of the current scatter matrix ``V``."""
+        return self._v.copy()
+
+    @property
+    def response_vector(self) -> np.ndarray:
+        """A copy of the current response vector ``b``."""
+        return self._b.copy()
+
+    def _inverse(self) -> np.ndarray:
+        if self._v_inverse is None:
+            self._v_inverse = np.linalg.inv(self._v)
+        return self._v_inverse
+
+    def theta(self) -> np.ndarray:
+        """Ridge-regression estimate ``theta = V^{-1} b`` (line 5)."""
+        return self._inverse() @ self._b
+
+    # ------------------------------------------------------------------ #
+    # scoring
+    # ------------------------------------------------------------------ #
+    def expected_rewards(self, contexts: np.ndarray) -> np.ndarray:
+        """Point estimates ``theta' x_i`` without the exploration boost."""
+        contexts = self._validate_contexts(contexts)
+        return contexts @ self.theta()
+
+    def exploration_bonus(self, contexts: np.ndarray) -> np.ndarray:
+        """The per-arm confidence width ``sqrt(x' V^{-1} x)``."""
+        contexts = self._validate_contexts(contexts)
+        inverse = self._inverse()
+        widths = np.einsum("ij,jk,ik->i", contexts, inverse, contexts)
+        return np.sqrt(np.maximum(widths, 0.0))
+
+    def upper_confidence_scores(self, contexts: np.ndarray, alpha: float) -> np.ndarray:
+        """UCB scores (line 8 of Algorithm 1)."""
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        contexts = self._validate_contexts(contexts)
+        return self.expected_rewards(contexts) + alpha * self.exploration_bonus(contexts)
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+    def update(self, contexts: np.ndarray, rewards: np.ndarray) -> None:
+        """Rank-one updates for every played arm (lines 12-13 of Algorithm 1)."""
+        contexts = self._validate_contexts(contexts)
+        rewards = np.asarray(rewards, dtype=float).reshape(-1)
+        if len(rewards) != len(contexts):
+            raise ValueError(
+                f"got {len(contexts)} contexts but {len(rewards)} rewards"
+            )
+        if len(contexts) == 0:
+            self.rounds_observed += 1
+            return
+        self._v = self._v + contexts.T @ contexts
+        self._b = self._b + contexts.T @ rewards
+        self._v_inverse = None
+        self.rounds_observed += 1
+        self.observations += len(contexts)
+
+    def forget(self, keep_fraction: float) -> None:
+        """Shrink learned knowledge towards the prior after a workload shift.
+
+        ``keep_fraction`` = 0 resets the learner completely; 1 keeps
+        everything.  Intermediate values blend the learned scatter matrix and
+        response vector with their initial values, which both discounts stale
+        reward estimates and re-inflates the exploration bonus.
+        """
+        if not 0 <= keep_fraction <= 1:
+            raise ValueError("keep_fraction must be in [0, 1]")
+        prior = self.regularisation * np.eye(self.dimension)
+        self._v = keep_fraction * self._v + (1 - keep_fraction) * prior
+        self._b = keep_fraction * self._b
+        self._v_inverse = None
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _validate_contexts(self, contexts: np.ndarray) -> np.ndarray:
+        contexts = np.asarray(contexts, dtype=float)
+        if contexts.ndim == 1:
+            contexts = contexts.reshape(1, -1)
+        if contexts.ndim != 2 or contexts.shape[1] != self.dimension:
+            raise ValueError(
+                f"contexts must have shape (k, {self.dimension}), got {contexts.shape}"
+            )
+        return contexts
+
+    def tie_break(self, count: int) -> np.ndarray:
+        """Tiny random jitter used only to break exact score ties deterministically."""
+        return self._rng.uniform(0.0, 1e-9, size=count)

@@ -1,0 +1,145 @@
+"""Greedy super-arm oracle with diversity filtering (Section IV).
+
+The super-arm reward is a sum of individual arm rewards under a knapsack
+(memory) constraint, a monotone submodular objective for which the greedy
+algorithm is a (1 - 1/e)-approximation oracle.  The implementation follows the
+paper's refinement:
+
+1. arms with negative scores are pruned;
+2. selection and filtering steps alternate until the memory budget is
+   exhausted — after selecting the best remaining arm, arms that no longer fit
+   the remaining budget, arms whose key is a prefix of an already selected arm
+   (redundant seek capability), and — when a covering index was selected for a
+   query — all other arms generated for that query, are filtered out.
+
+Filtering is per-round only; pruned arms return in later rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .arms import Arm
+
+
+@dataclass
+class ScoredArm:
+    """An arm together with its UCB score and its materialisation size."""
+
+    arm: Arm
+    score: float
+    size_bytes: int
+
+    @property
+    def index_id(self) -> str:
+        return self.arm.index_id
+
+
+@dataclass
+class OracleResult:
+    """Outcome of one oracle invocation."""
+
+    selected: list[ScoredArm]
+    total_size_bytes: int
+    total_score: float
+
+    @property
+    def selected_arms(self) -> list[Arm]:
+        return [scored.arm for scored in self.selected]
+
+    @property
+    def selected_index_ids(self) -> set[str]:
+        return {scored.index_id for scored in self.selected}
+
+
+class GreedyOracle:
+    """Greedy knapsack oracle with prefix/covering diversity filtering."""
+
+    def __init__(self, prune_negative_scores: bool = True):
+        self.prune_negative_scores = prune_negative_scores
+
+    def select(
+        self,
+        scored_arms: list[ScoredArm],
+        memory_budget_bytes: int | None,
+    ) -> OracleResult:
+        """Pick a super arm within ``memory_budget_bytes``.
+
+        ``None`` means no budget constraint (every positively scored arm that
+        survives filtering is selected).
+        """
+        candidates = list(scored_arms)
+        if self.prune_negative_scores:
+            candidates = [scored for scored in candidates if scored.score > 0]
+        candidates.sort(key=lambda scored: scored.score, reverse=True)
+
+        remaining_budget = memory_budget_bytes
+        selected: list[ScoredArm] = []
+        covered_templates: set[str] = set()
+
+        while candidates:
+            chosen = candidates.pop(0)
+            if remaining_budget is not None and chosen.size_bytes > remaining_budget:
+                # The greedy step only considers cost-feasible arms; skip and
+                # keep looking for a smaller one.
+                continue
+            selected.append(chosen)
+            if remaining_budget is not None:
+                remaining_budget -= chosen.size_bytes
+            if chosen.arm.covering_for_queries:
+                covered_templates |= chosen.arm.source_templates
+            candidates = self._filter(candidates, selected, covered_templates, remaining_budget)
+
+        total_size = sum(scored.size_bytes for scored in selected)
+        total_score = sum(scored.score for scored in selected)
+        return OracleResult(selected=selected, total_size_bytes=total_size, total_score=total_score)
+
+    # ------------------------------------------------------------------ #
+    # filtering
+    # ------------------------------------------------------------------ #
+    def _filter(
+        self,
+        candidates: list[ScoredArm],
+        selected: list[ScoredArm],
+        covered_templates: set[str],
+        remaining_budget: int | None,
+    ) -> list[ScoredArm]:
+        surviving: list[ScoredArm] = []
+        for scored in candidates:
+            if remaining_budget is not None and scored.size_bytes > remaining_budget:
+                continue
+            if self._is_prefix_of_selected(scored, selected):
+                continue
+            if self._covered_by_covering_index(scored, covered_templates):
+                continue
+            surviving.append(scored)
+        return surviving
+
+    @staticmethod
+    def _is_prefix_of_selected(scored: ScoredArm, selected: list[ScoredArm]) -> bool:
+        """Prefix-matching diversity filter.
+
+        An arm is redundant for the current round when a selected arm on the
+        same table already starts with the same leading key column: the
+        selected index provides the same (or better) seek capability, so
+        materialising both would mostly waste the memory budget.  The filter
+        is per-round only; the arm competes again next round.
+        """
+        return any(
+            scored.arm.index.table == chosen.arm.index.table
+            and scored.arm.index.leading_column() == chosen.arm.index.leading_column()
+            for chosen in selected
+        )
+
+    @staticmethod
+    def _covered_by_covering_index(scored: ScoredArm, covered_templates: set[str]) -> bool:
+        """Once a covering index is selected for a query, its other arms are dropped.
+
+        An arm is filtered only when *every* template that motivated it is
+        already served by a selected covering index; arms that also serve
+        not-yet-covered templates stay in play.
+        """
+        if not covered_templates:
+            return False
+        motivating = scored.arm.source_templates
+        return bool(motivating) and motivating <= covered_templates

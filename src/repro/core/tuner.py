@@ -1,0 +1,223 @@
+"""The MAB index tuner: Algorithm 2 of the paper, wired to the C²UCB learner.
+
+Per round the tuner:
+
+1. pulls the queries of interest (QoI) from the query store (templates seen in
+   a recent window);
+2. generates candidate-index arms from the QoI predicates and builds their
+   contexts;
+3. scores every arm with the C²UCB upper confidence bound and lets the greedy
+   oracle pick a super arm (configuration) within the memory budget;
+4. after the round executes, shapes per-arm rewards from the observed
+   execution statistics and the indexes' creation times, updates the shared
+   linear model, and (on detected workload shifts) forgets part of what it
+   has learned.
+
+The tuner never looks at the upcoming workload and never asks the optimiser
+for what-if estimates — its knowledge comes exclusively from observed
+execution statistics, which is the paper's central design decision.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.engine.catalog import ConfigurationChange, Database
+from repro.engine.execution import ExecutionResult
+from repro.engine.indexes import IndexDefinition
+from repro.engine.query import Query
+from repro.interface import Recommendation, Tuner
+
+from .arms import Arm, ArmGenerator
+from .config import MabConfig
+from .context import ContextBuilder
+from .linear_bandit import C2UCB
+from .oracle import GreedyOracle, ScoredArm
+from .query_store import QueryStore
+from .rewards import compute_round_rewards
+
+
+class MabTuner(Tuner):
+    """Online index selection with a contextual combinatorial bandit."""
+
+    name = "MAB"
+
+    def __init__(self, database: Database, config: MabConfig | None = None):
+        self.database = database
+        self.config = config or MabConfig()
+        self.query_store = QueryStore()
+        self.arm_generator = ArmGenerator(self.config)
+        self.context_builder = ContextBuilder(database.schema)
+        self.bandit = C2UCB(
+            dimension=self.context_builder.dimension,
+            regularisation=self.config.regularisation,
+            seed=self.config.seed,
+        )
+        self.oracle = GreedyOracle()
+        #: Running scale (seconds) used to normalise rewards so that the
+        #: learned weights and the exploration bonus live on comparable
+        #: scales; it tracks the largest observed full-scan time.
+        self._reward_scale_seconds = 1.0
+        #: All arms ever generated, keyed by index id (keeps usage statistics).
+        self.known_arms: dict[str, Arm] = {}
+        #: Selection made by the latest ``recommend`` call, consumed by ``observe``.
+        self._pending_selection: list[tuple[Arm, "list[float]"]] = []
+        #: Diagnostics for reporting and tests.
+        self.shift_events: list[int] = []
+        self.rounds_recommended = 0
+
+    # ------------------------------------------------------------------ #
+    # Tuner interface
+    # ------------------------------------------------------------------ #
+    def recommend(
+        self,
+        round_number: int,
+        training_queries: list[Query] | None = None,
+    ) -> Recommendation:
+        del training_queries  # the bandit never receives a training workload
+        started = time.perf_counter()
+        self.rounds_recommended += 1
+
+        queries_of_interest = self.query_store.queries_of_interest(
+            round_number, window_rounds=self.config.qoi_window_rounds
+        )
+        if not queries_of_interest:
+            # Cold start: no observations yet, keep the empty configuration.
+            return Recommendation(
+                configuration=[],
+                recommendation_seconds=time.perf_counter() - started,
+            )
+
+        arms = self._refresh_arms(queries_of_interest, round_number)
+        contexts = self.context_builder.build_matrix(arms, queries_of_interest, self.database)
+        alpha = self.config.alpha_at(round_number)
+        scores = self.bandit.upper_confidence_scores(contexts, alpha)
+        scores = scores + self.bandit.tie_break(len(scores))
+
+        scored_arms = [
+            ScoredArm(
+                arm=arm,
+                score=float(score),
+                size_bytes=self.database.index_size_bytes(arm.index),
+            )
+            for arm, score in zip(arms, scores)
+        ]
+        selection = self.oracle.select(scored_arms, self.database.memory_budget_bytes)
+
+        self._pending_selection = []
+        for scored in selection.selected:
+            position = arms.index(scored.arm)
+            self._pending_selection.append((scored.arm, contexts[position]))
+
+        configuration = [scored.arm.index for scored in selection.selected]
+        return Recommendation(
+            configuration=configuration,
+            recommendation_seconds=time.perf_counter() - started,
+        )
+
+    def observe(
+        self,
+        round_number: int,
+        queries: list[Query],
+        results: list[ExecutionResult],
+        change: ConfigurationChange,
+    ) -> None:
+        summary = self.query_store.add_round(queries, round_number)
+        if (
+            round_number > 1
+            and summary.shift_intensity >= self.config.shift_detection_threshold
+        ):
+            # The workload moved to (mostly) unseen templates: discount stale
+            # knowledge proportionally to the shift intensity.
+            self.bandit.forget(self.config.forgetting_factor)
+            self.shift_events.append(round_number)
+
+        rewards = compute_round_rewards(
+            results, change, creation_cost_weight=self.config.creation_cost_weight
+        )
+        for index_id in rewards.used_index_ids:
+            arm = self.known_arms.get(index_id)
+            if arm is not None:
+                arm.usage_rounds += 1
+        self._update_reward_scale(results)
+
+        if not self._pending_selection:
+            return
+        # Each played arm contributes a gain observation against its usage
+        # context (relative size forced to zero: the gain does not depend on
+        # whether the index had to be built this round).  Arms built this
+        # round additionally contribute a creation-cost observation against a
+        # pure-size context, so that build costs are attributed to index size
+        # rather than to the workload columns the index serves.
+        size_slot = self.context_builder.size_feature_index
+        played_contexts: list[np.ndarray] = []
+        played_rewards: list[float] = []
+        for arm, context in self._pending_selection:
+            usage_context = np.array(context, dtype=float)
+            usage_context[size_slot] = 0.0
+            played_contexts.append(usage_context)
+            played_rewards.append(
+                rewards.gains.get(arm.index_id, 0.0) / self._reward_scale_seconds
+            )
+            creation_seconds = change.creation_seconds_by_index.get(arm.index_id)
+            if creation_seconds:
+                played_contexts.append(
+                    self.context_builder.creation_context(arm, self.database)
+                )
+                played_rewards.append(
+                    -self.config.creation_cost_weight
+                    * creation_seconds
+                    / self._reward_scale_seconds
+                )
+        self.bandit.update(
+            contexts=np.vstack(played_contexts),
+            rewards=np.asarray(played_rewards),
+        )
+        self._pending_selection = []
+
+    def _update_reward_scale(self, results: list[ExecutionResult]) -> None:
+        """Track the largest observed table full-scan time as the reward scale."""
+        for result in results:
+            for access in result.access_results:
+                if access.full_scan_seconds > self._reward_scale_seconds:
+                    self._reward_scale_seconds = access.full_scan_seconds
+
+    def reset(self) -> None:
+        self.bandit.reset()
+        self.query_store.clear()
+        self.known_arms.clear()
+        self._pending_selection = []
+        self.shift_events = []
+        self.rounds_recommended = 0
+        self._reward_scale_seconds = 1.0
+
+    # ------------------------------------------------------------------ #
+    # internals and diagnostics
+    # ------------------------------------------------------------------ #
+    def _refresh_arms(self, queries: list[Query], round_number: int) -> list[Arm]:
+        """Generate arms for the QoI and merge them into the persistent registry."""
+        generated = self.arm_generator.generate(queries)
+        arms: list[Arm] = []
+        for index_id, fresh in generated.items():
+            known = self.known_arms.get(index_id)
+            if known is None:
+                fresh.last_generated_round = round_number
+                self.known_arms[index_id] = fresh
+                arms.append(fresh)
+            else:
+                known.source_templates |= fresh.source_templates
+                known.covering_for_queries = fresh.covering_for_queries
+                known.last_generated_round = round_number
+                arms.append(known)
+        return arms
+
+    @property
+    def known_arm_count(self) -> int:
+        return len(self.known_arms)
+
+    def theta_norm(self) -> float:
+        """L2 norm of the learned weight vector (a convergence diagnostic)."""
+        theta = self.bandit.theta()
+        return float((theta @ theta) ** 0.5)

@@ -1,0 +1,260 @@
+"""The database catalog: tables, materialised indexes and the memory budget.
+
+:class:`Database` is the single mutable object of the engine layer.  It owns
+the materialised table samples, the optimiser statistics and the set of
+currently materialised secondary indexes, and it enforces the index memory
+budget the paper grants to both tuners (1x the data size by default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from .cost_model import CostModel, CostModelParameters
+from .datagen import TableSpec
+from .errors import (
+    DuplicateIndexError,
+    MemoryBudgetExceededError,
+    UnknownIndexError,
+    UnknownTableError,
+)
+from .indexes import IndexDefinition
+from .schema import Schema
+from .statistics import StatisticsCatalog, build_table_statistics
+from .storage import TableData, build_table_data
+
+
+@dataclass
+class ConfigurationChange:
+    """Result of transitioning the materialised configuration."""
+
+    created: list[IndexDefinition] = field(default_factory=list)
+    dropped: list[IndexDefinition] = field(default_factory=list)
+    #: Per-index creation times (model-seconds), keyed by ``index_id``; needed
+    #: by the bandit's reward shaping, which charges creation to the arm.
+    creation_seconds_by_index: dict[str, float] = field(default_factory=dict)
+    creation_seconds: float = 0.0
+    drop_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.creation_seconds + self.drop_seconds
+
+
+class Database:
+    """A simulated analytical DBMS instance.
+
+    Parameters
+    ----------
+    schema:
+        Logical schema of the benchmark.
+    tables:
+        Mapping of table name to :class:`TableData`.
+    memory_budget_bytes:
+        Space allowance for secondary indexes.  ``None`` means unconstrained.
+    cost_model:
+        The engine's true cost model; shared with the executor.
+    histogram_buckets:
+        Number of equi-width histogram buckets for optimiser statistics
+        (0 reproduces plain uniformity assumptions).
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        tables: Mapping[str, TableData],
+        memory_budget_bytes: int | None = None,
+        cost_model: CostModel | None = None,
+        histogram_buckets: int = 0,
+    ) -> None:
+        self.schema = schema
+        self._tables: dict[str, TableData] = dict(tables)
+        for table_name in schema.table_names:
+            if table_name not in self._tables:
+                raise UnknownTableError(table_name)
+        self.memory_budget_bytes = memory_budget_bytes
+        self.cost_model = cost_model or CostModel()
+        self._indexes: dict[str, IndexDefinition] = {}
+        self._index_sizes: dict[str, int] = {}
+        self._statistics = StatisticsCatalog()
+        for data in self._tables.values():
+            self._statistics.add(build_table_statistics(data, histogram_buckets=histogram_buckets))
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_specs(
+        cls,
+        schema: Schema,
+        table_specs: Iterable[TableSpec],
+        sample_rows: int = 20_000,
+        seed: int = 7,
+        memory_budget_bytes: int | None = None,
+        cost_model_parameters: CostModelParameters | None = None,
+        histogram_buckets: int = 0,
+    ) -> "Database":
+        """Generate table samples from specs and assemble a database."""
+        rng = np.random.default_rng(seed)
+        tables: dict[str, TableData] = {}
+        for spec in table_specs:
+            table = schema.table(spec.table_name)
+            sample = spec.generate_sample(sample_rows, rng)
+            distinct_hints = {
+                column_name: generator.approximate_distinct
+                for column_name, generator in spec.generators.items()
+                if generator.approximate_distinct is not None
+            }
+            tables[spec.table_name] = build_table_data(
+                table, sample, spec.row_count, distinct_hints=distinct_hints
+            )
+        cost_model = CostModel(cost_model_parameters) if cost_model_parameters else CostModel()
+        return cls(
+            schema=schema,
+            tables=tables,
+            memory_budget_bytes=memory_budget_bytes,
+            cost_model=cost_model,
+            histogram_buckets=histogram_buckets,
+        )
+
+    # ------------------------------------------------------------------ #
+    # tables and statistics
+    # ------------------------------------------------------------------ #
+    def table_data(self, table_name: str) -> TableData:
+        try:
+            return self._tables[table_name]
+        except KeyError:
+            raise UnknownTableError(table_name) from None
+
+    @property
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    @property
+    def statistics(self) -> StatisticsCatalog:
+        return self._statistics
+
+    @property
+    def data_size_bytes(self) -> int:
+        """Total heap size of all tables (the paper's '1x' budget reference)."""
+        return sum(data.total_bytes for data in self._tables.values())
+
+    # ------------------------------------------------------------------ #
+    # index catalogue
+    # ------------------------------------------------------------------ #
+    @property
+    def materialised_indexes(self) -> list[IndexDefinition]:
+        return list(self._indexes.values())
+
+    @property
+    def materialised_index_ids(self) -> set[str]:
+        return set(self._indexes)
+
+    def has_index(self, index: IndexDefinition) -> bool:
+        return index.index_id in self._indexes
+
+    def indexes_for_table(self, table_name: str) -> list[IndexDefinition]:
+        return [ix for ix in self._indexes.values() if ix.table == table_name]
+
+    def index_size_bytes(self, index: IndexDefinition) -> int:
+        """Size of an index (materialised or hypothetical)."""
+        if index.index_id in self._index_sizes:
+            return self._index_sizes[index.index_id]
+        return index.size_bytes(self.table_data(index.table))
+
+    @property
+    def used_index_bytes(self) -> int:
+        return sum(self._index_sizes.values())
+
+    @property
+    def available_index_bytes(self) -> int | None:
+        if self.memory_budget_bytes is None:
+            return None
+        return self.memory_budget_bytes - self.used_index_bytes
+
+    def fits_in_budget(self, indexes: Iterable[IndexDefinition]) -> bool:
+        """Whether materialising the given (additional) indexes stays within budget."""
+        if self.memory_budget_bytes is None:
+            return True
+        additional = sum(
+            self.index_size_bytes(index)
+            for index in indexes
+            if index.index_id not in self._indexes
+        )
+        return self.used_index_bytes + additional <= self.memory_budget_bytes
+
+    # ------------------------------------------------------------------ #
+    # DDL operations
+    # ------------------------------------------------------------------ #
+    def create_index(self, index: IndexDefinition) -> float:
+        """Materialise an index, returning its creation time in model-seconds."""
+        if index.index_id in self._indexes:
+            raise DuplicateIndexError(f"index already materialised: {index.index_id}")
+        data = self.table_data(index.table)
+        self.schema.validate_columns(index.table, index.all_columns)
+        size = index.size_bytes(data)
+        available = self.available_index_bytes
+        if available is not None and size > available:
+            raise MemoryBudgetExceededError(size, available)
+        self._indexes[index.index_id] = index
+        self._index_sizes[index.index_id] = size
+        return self.cost_model.index_creation_seconds(index, data)
+
+    def drop_index(self, index: IndexDefinition) -> float:
+        """Drop a materialised index, returning the (small) drop time."""
+        if index.index_id not in self._indexes:
+            raise UnknownIndexError(f"index not materialised: {index.index_id}")
+        del self._indexes[index.index_id]
+        del self._index_sizes[index.index_id]
+        return self.cost_model.index_drop_seconds(index, self.table_data(index.table))
+
+    def drop_all_indexes(self) -> float:
+        total = 0.0
+        for index in list(self._indexes.values()):
+            total += self.drop_index(index)
+        return total
+
+    def apply_configuration(self, target: Iterable[IndexDefinition]) -> ConfigurationChange:
+        """Transition the materialised set to ``target``.
+
+        Indexes not in the target are dropped first (freeing budget), then
+        missing indexes are created.  Creation that would exceed the memory
+        budget is skipped rather than raised, mirroring how a tuner's
+        recommendation is clipped by the DBMS — callers can inspect
+        ``ConfigurationChange.created`` to learn what was actually built.
+        """
+        target_by_id = {index.index_id: index for index in target}
+        change = ConfigurationChange()
+        for index_id, index in list(self._indexes.items()):
+            if index_id not in target_by_id:
+                change.drop_seconds += self.drop_index(index)
+                change.dropped.append(index)
+        for index_id, index in target_by_id.items():
+            if index_id in self._indexes:
+                continue
+            if not self.fits_in_budget([index]):
+                continue
+            seconds = self.create_index(index)
+            change.creation_seconds_by_index[index_id] = seconds
+            change.creation_seconds += seconds
+            change.created.append(index)
+        return change
+
+    # ------------------------------------------------------------------ #
+    # summaries
+    # ------------------------------------------------------------------ #
+    def summary(self) -> dict:
+        return {
+            "schema": self.schema.name,
+            "tables": {name: data.summary() for name, data in sorted(self._tables.items())},
+            "data_size_mb": round(self.data_size_bytes / (1024 * 1024), 2),
+            "memory_budget_mb": (
+                None
+                if self.memory_budget_bytes is None
+                else round(self.memory_budget_bytes / (1024 * 1024), 2)
+            ),
+            "materialised_indexes": sorted(self._indexes),
+        }

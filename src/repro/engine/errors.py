@@ -1,0 +1,61 @@
+"""Exception hierarchy for the simulated DBMS engine.
+
+Keeping a small, explicit hierarchy lets callers distinguish configuration
+errors (bad schema, unknown column) from run-time constraint violations
+(memory budget exceeded) without string matching.
+"""
+
+from __future__ import annotations
+
+
+class EngineError(Exception):
+    """Base class for all errors raised by :mod:`repro.engine`."""
+
+
+class SchemaError(EngineError):
+    """A table, column or key definition is inconsistent."""
+
+
+class UnknownTableError(SchemaError):
+    """A query or index referenced a table that is not in the schema."""
+
+    def __init__(self, table_name: str):
+        super().__init__(f"unknown table: {table_name!r}")
+        self.table_name = table_name
+
+
+class UnknownColumnError(SchemaError):
+    """A query or index referenced a column that is not in its table."""
+
+    def __init__(self, table_name: str, column_name: str):
+        super().__init__(f"unknown column: {table_name!r}.{column_name!r}")
+        self.table_name = table_name
+        self.column_name = column_name
+
+
+class DuplicateIndexError(EngineError):
+    """An index with the same key definition is already materialised."""
+
+
+class UnknownIndexError(EngineError):
+    """An operation referenced an index that is not materialised."""
+
+
+class MemoryBudgetExceededError(EngineError):
+    """Materialising an index would exceed the configured memory budget."""
+
+    def __init__(self, requested_bytes: int, available_bytes: int):
+        super().__init__(
+            "index materialisation would exceed the memory budget: "
+            f"requested {requested_bytes} bytes, available {available_bytes} bytes"
+        )
+        self.requested_bytes = requested_bytes
+        self.available_bytes = available_bytes
+
+
+class DataGenerationError(EngineError):
+    """A column generator specification is invalid."""
+
+
+class ExecutionError(EngineError):
+    """A query plan could not be executed against the database."""

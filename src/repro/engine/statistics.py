@@ -1,0 +1,174 @@
+"""Optimiser-visible summary statistics.
+
+The paper's central critique is that cost-based physical design tools trust
+optimiser estimates built on *summary* statistics and simplifying assumptions
+(uniform value distribution within ``[min, max]``, attribute-value
+independence across columns).  To reproduce the resulting misestimates we keep
+two views of the data:
+
+* the *true* view — selectivities measured directly on the materialised
+  sample (:class:`repro.engine.storage.TableData`); and
+* the *optimiser* view — the per-column summaries in this module, which
+  deliberately discard skew and correlation information.
+
+:class:`ColumnStatistics` optionally carries a small equi-width histogram;
+even with the histogram enabled the optimiser still multiplies per-column
+selectivities (AVI), so correlated predicates remain misestimated, matching
+the paper's observation that "even with more complex statistics ... the issue
+remains".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .storage import TableData
+
+
+@dataclass(frozen=True)
+class HistogramBucket:
+    """A single equi-width histogram bucket ``[low, high)`` with a row fraction."""
+
+    low: float
+    high: float
+    fraction: float
+
+
+@dataclass
+class ColumnStatistics:
+    """Summary statistics for one column, as the optimiser sees them."""
+
+    table_name: str
+    column_name: str
+    row_count: int
+    distinct_count: int
+    min_value: float
+    max_value: float
+    histogram: tuple[HistogramBucket, ...] = ()
+
+    @property
+    def is_unique(self) -> bool:
+        return self.distinct_count >= self.row_count
+
+    @property
+    def value_span(self) -> float:
+        return max(self.max_value - self.min_value, 0.0)
+
+    def equality_selectivity(self) -> float:
+        """Estimated selectivity of ``column = constant`` under uniformity."""
+        if self.distinct_count <= 0:
+            return 1.0
+        return 1.0 / self.distinct_count
+
+    def range_fraction(self, low: float | None, high: float | None) -> float:
+        """Estimated fraction of rows with value in ``[low, high]``.
+
+        Uses the histogram when available, otherwise interpolates linearly
+        over ``[min, max]`` (the uniformity assumption).
+        """
+        low_bound = self.min_value if low is None else low
+        high_bound = self.max_value if high is None else high
+        if high_bound < low_bound:
+            return 0.0
+        if self.histogram:
+            fraction = 0.0
+            for bucket in self.histogram:
+                overlap_low = max(bucket.low, low_bound)
+                overlap_high = min(bucket.high, high_bound)
+                if overlap_high <= overlap_low:
+                    continue
+                bucket_span = max(bucket.high - bucket.low, 1e-12)
+                fraction += bucket.fraction * (overlap_high - overlap_low) / bucket_span
+            return min(1.0, max(0.0, fraction))
+        span = self.value_span
+        if span <= 0:
+            return 1.0
+        overlap = min(high_bound, self.max_value) - max(low_bound, self.min_value)
+        if overlap < 0:
+            return 0.0
+        return min(1.0, overlap / span)
+
+
+@dataclass
+class TableStatistics:
+    """All optimiser statistics for one table."""
+
+    table_name: str
+    row_count: int
+    columns: dict[str, ColumnStatistics] = field(default_factory=dict)
+
+    def column(self, column_name: str) -> ColumnStatistics | None:
+        return self.columns.get(column_name)
+
+
+class StatisticsCatalog:
+    """Per-table optimiser statistics for the whole database."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableStatistics] = {}
+
+    def add(self, statistics: TableStatistics) -> None:
+        self._tables[statistics.table_name] = statistics
+
+    def table(self, table_name: str) -> TableStatistics | None:
+        return self._tables.get(table_name)
+
+    def column(self, table_name: str, column_name: str) -> ColumnStatistics | None:
+        table_statistics = self._tables.get(table_name)
+        if table_statistics is None:
+            return None
+        return table_statistics.column(column_name)
+
+    def row_count(self, table_name: str) -> int:
+        table_statistics = self._tables.get(table_name)
+        return 0 if table_statistics is None else table_statistics.row_count
+
+    @property
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+
+def build_column_statistics(
+    data: TableData, column_name: str, histogram_buckets: int = 0
+) -> ColumnStatistics:
+    """Build optimiser statistics for one column from the materialised sample.
+
+    The distinct count and min/max come from the sample (scaled for unique
+    columns), mirroring how real systems build statistics from row samples.
+    When ``histogram_buckets`` > 0 an equi-width histogram is attached.
+    """
+    values = data.column_array(column_name)
+    distinct = data.distinct_count(column_name)
+    min_value, max_value = data.value_range(column_name)
+    histogram: tuple[HistogramBucket, ...] = ()
+    if histogram_buckets > 0 and max_value > min_value:
+        edges = np.linspace(min_value, max_value, histogram_buckets + 1)
+        counts, _ = np.histogram(values, bins=edges)
+        total = max(1, counts.sum())
+        histogram = tuple(
+            HistogramBucket(low=float(edges[i]), high=float(edges[i + 1]), fraction=float(counts[i]) / total)
+            for i in range(histogram_buckets)
+        )
+    return ColumnStatistics(
+        table_name=data.name,
+        column_name=column_name,
+        row_count=data.full_row_count,
+        distinct_count=distinct,
+        min_value=min_value,
+        max_value=max_value,
+        histogram=histogram,
+    )
+
+
+def build_table_statistics(data: TableData, histogram_buckets: int = 0) -> TableStatistics:
+    """Build optimiser statistics for every column of a table."""
+    statistics = TableStatistics(table_name=data.name, row_count=data.full_row_count)
+    for column in data.table.columns:
+        if not data.has_column_data(column.name):
+            continue
+        statistics.columns[column.name] = build_column_statistics(
+            data, column.name, histogram_buckets=histogram_buckets
+        )
+    return statistics

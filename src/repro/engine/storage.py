@@ -1,0 +1,219 @@
+"""Materialised table storage for the simulated DBMS.
+
+A :class:`TableData` holds a *sample* of a table's rows as numpy column
+arrays, together with the full (logical) row count.  Selectivities of
+predicates are always measured on the sample — which therefore reflects real
+skew and inter-column correlation — while row counts, page counts and byte
+sizes are scaled to the full table via ``scale_multiplier``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from .errors import SchemaError, UnknownColumnError
+from .query import Operator, Predicate
+from .schema import Table
+
+#: Logical page size used for all page-count accounting (bytes).
+PAGE_SIZE_BYTES = 8192
+
+
+def evaluate_predicate(values: np.ndarray, predicate: Predicate) -> np.ndarray:
+    """Return a boolean mask of sample rows satisfying ``predicate``."""
+    operator = predicate.operator
+    if operator is Operator.EQ:
+        return values == predicate.value
+    if operator is Operator.LT:
+        return values < predicate.value
+    if operator is Operator.LE:
+        return values <= predicate.value
+    if operator is Operator.GT:
+        return values > predicate.value
+    if operator is Operator.GE:
+        return values >= predicate.value
+    if operator is Operator.BETWEEN:
+        low, high = predicate.value
+        return (values >= low) & (values <= high)
+    if operator is Operator.IN:
+        return np.isin(values, np.asarray(predicate.value))
+    raise ValueError(f"unsupported operator: {operator}")
+
+
+@dataclass
+class TableData:
+    """A table's materialised sample plus scale metadata.
+
+    Parameters
+    ----------
+    table:
+        Schema definition of the table.
+    columns:
+        Mapping column name -> numpy array of sample values.  All arrays must
+        have the same length.
+    full_row_count:
+        Logical number of rows in the full-size table (e.g. 59,986,052 for
+        TPC-H ``lineitem`` at SF 10).
+    distinct_hints:
+        Optional per-column distinct-value counts of the *full* table, as
+        reported by the data generators.  Estimating the distinct count of a
+        high-cardinality column from a small sample is notoriously unreliable
+        (a skewed sample wildly under-counts), so when a hint is available it
+        takes precedence.
+    """
+
+    table: Table
+    columns: dict[str, np.ndarray]
+    full_row_count: int
+    distinct_hints: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.full_row_count <= 0:
+            raise SchemaError(f"table {self.table.name!r}: full_row_count must be positive")
+        lengths = {len(array) for array in self.columns.values()}
+        if not self.columns:
+            raise SchemaError(f"table {self.table.name!r}: no column data supplied")
+        if len(lengths) != 1:
+            raise SchemaError(
+                f"table {self.table.name!r}: column sample arrays have differing lengths"
+            )
+        for column_name in self.columns:
+            if not self.table.has_column(column_name):
+                raise UnknownColumnError(self.table.name, column_name)
+        self._sample_rows = lengths.pop()
+        if self._sample_rows == 0:
+            raise SchemaError(f"table {self.table.name!r}: sample must be non-empty")
+        if self.full_row_count < self._sample_rows:
+            # A sample can never be larger than the table it represents.
+            self.full_row_count = self._sample_rows
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        return self.table.name
+
+    @property
+    def sample_rows(self) -> int:
+        return self._sample_rows
+
+    @property
+    def scale_multiplier(self) -> float:
+        """Full rows represented by each sample row."""
+        return self.full_row_count / self._sample_rows
+
+    def column_array(self, column_name: str) -> np.ndarray:
+        try:
+            return self.columns[column_name]
+        except KeyError:
+            raise UnknownColumnError(self.table.name, column_name) from None
+
+    def has_column_data(self, column_name: str) -> bool:
+        return column_name in self.columns
+
+    # ------------------------------------------------------------------ #
+    # size accounting
+    # ------------------------------------------------------------------ #
+    @property
+    def row_width_bytes(self) -> int:
+        return self.table.row_width_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.full_row_count * self.row_width_bytes
+
+    @property
+    def pages(self) -> int:
+        """Number of heap pages occupied by the full table."""
+        return max(1, int(np.ceil(self.total_bytes / PAGE_SIZE_BYTES)))
+
+    def width_of(self, column_names: tuple[str, ...] | list[str]) -> int:
+        """Total byte width of the named columns."""
+        return sum(self.table.column(name).width for name in column_names)
+
+    # ------------------------------------------------------------------ #
+    # true statistics measured on the sample
+    # ------------------------------------------------------------------ #
+    def selection_mask(self, predicates: tuple[Predicate, ...]) -> np.ndarray:
+        """Boolean mask of sample rows satisfying the conjunction of ``predicates``."""
+        mask = np.ones(self._sample_rows, dtype=bool)
+        for predicate in predicates:
+            if predicate.table != self.table.name:
+                continue
+            values = self.column_array(predicate.column)
+            mask &= evaluate_predicate(values, predicate)
+        return mask
+
+    def true_selectivity(self, predicates: tuple[Predicate, ...]) -> float:
+        """True combined selectivity of conjunctive predicates, measured on the sample.
+
+        A minimum selectivity of half a sample row is used so that empty
+        sample matches still map to a small positive row estimate (the full
+        table may contain a handful of matching rows the sample missed).
+        """
+        relevant = tuple(p for p in predicates if p.table == self.table.name)
+        if not relevant:
+            return 1.0
+        matched = int(self.selection_mask(relevant).sum())
+        floor = 0.5 / self._sample_rows
+        return max(floor, matched / self._sample_rows)
+
+    def true_cardinality(self, predicates: tuple[Predicate, ...]) -> int:
+        """Estimated number of full-table rows satisfying the predicates."""
+        return max(1, int(round(self.true_selectivity(predicates) * self.full_row_count)))
+
+    def distinct_count(self, column_name: str) -> int:
+        """Distinct values of a column in the full table.
+
+        Prefers the generator-provided hint (exact for synthetic data); when no
+        hint exists, falls back to the sample distinct count, scaled
+        conservatively: if the sample looks unique we assume the full column
+        is unique.
+        """
+        hint = self.distinct_hints.get(column_name)
+        if hint is not None:
+            return max(1, min(int(hint), self.full_row_count))
+        values = self.column_array(column_name)
+        sample_distinct = int(len(np.unique(values)))
+        if sample_distinct >= 0.95 * self._sample_rows:
+            return self.full_row_count
+        return sample_distinct
+
+    def value_range(self, column_name: str) -> tuple[float, float]:
+        values = self.column_array(column_name)
+        return float(values.min()), float(values.max())
+
+    def summary(self) -> dict:
+        """A small serialisable summary used in reports and examples."""
+        return {
+            "table": self.table.name,
+            "full_row_count": self.full_row_count,
+            "sample_rows": self.sample_rows,
+            "row_width_bytes": self.row_width_bytes,
+            "total_mb": round(self.total_bytes / (1024 * 1024), 2),
+            "pages": self.pages,
+        }
+
+
+def build_table_data(
+    table: Table,
+    sample: Mapping[str, np.ndarray],
+    full_row_count: int,
+    distinct_hints: Mapping[str, int] | None = None,
+) -> TableData:
+    """Convenience constructor validating that every schema column has data."""
+    missing = [column.name for column in table.columns if column.name not in sample]
+    if missing:
+        raise SchemaError(
+            f"table {table.name!r}: no generated data for columns {missing!r}"
+        )
+    return TableData(
+        table=table,
+        columns=dict(sample),
+        full_row_count=full_row_count,
+        distinct_hints=dict(distinct_hints or {}),
+    )

@@ -1,0 +1,63 @@
+"""Experiment harness: drives tuners over workloads and reproduces every
+table and figure of the paper's evaluation section."""
+
+from .experiments import (
+    DEFAULT_TUNERS,
+    ExperimentSettings,
+    aggregate_rl_series,
+    build_workload_rounds,
+    make_tuner,
+    random_experiment,
+    rl_comparison_experiment,
+    run_workload_experiment,
+    shifting_experiment,
+    static_experiment,
+    table1_breakdown_experiment,
+    table2_database_size_experiment,
+)
+from .interface import Recommendation, Tuner
+from .metrics import RoundReport, RunReport, speedup_percentage
+from .reporting import (
+    convergence_series,
+    exploration_cost_summary,
+    final_round_execution_comparison,
+    format_table,
+    speedup_summary,
+    table1_breakdown,
+    table2_database_size,
+    totals_summary,
+)
+from .simulation import SimulationOptions, SimulationTrace, execute_round, run_competition, run_simulation
+
+__all__ = [
+    "DEFAULT_TUNERS",
+    "ExperimentSettings",
+    "Recommendation",
+    "RoundReport",
+    "RunReport",
+    "SimulationOptions",
+    "SimulationTrace",
+    "Tuner",
+    "aggregate_rl_series",
+    "build_workload_rounds",
+    "convergence_series",
+    "execute_round",
+    "exploration_cost_summary",
+    "final_round_execution_comparison",
+    "format_table",
+    "make_tuner",
+    "random_experiment",
+    "rl_comparison_experiment",
+    "run_competition",
+    "run_simulation",
+    "run_workload_experiment",
+    "shifting_experiment",
+    "speedup_percentage",
+    "speedup_summary",
+    "static_experiment",
+    "table1_breakdown",
+    "table2_database_size",
+    "table2_database_size_experiment",
+    "table1_breakdown_experiment",
+    "totals_summary",
+]

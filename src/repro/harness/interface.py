@@ -1,0 +1,10 @@
+"""Compatibility re-export: the tuner interface lives in :mod:`repro.interface`.
+
+It is defined at the top level of the package (rather than inside the harness)
+so that the core tuner and the baselines can implement it without importing
+the full experiment harness.
+"""
+
+from repro.interface import Recommendation, Tuner
+
+__all__ = ["Recommendation", "Tuner"]

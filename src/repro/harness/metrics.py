@@ -1,0 +1,117 @@
+"""Per-round and per-run accounting of recommendation, creation and execution time.
+
+These containers mirror the paper's metrics exactly: the total end-to-end
+workload time ``C_tot = sum_t C_rec(t) + C_cre(t) + C_exc(t)`` (Section II),
+its per-round series (the convergence figures), and its breakdown by component
+(Table I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RoundReport:
+    """Observed costs of one round for one tuner."""
+
+    round_number: int
+    recommendation_seconds: float = 0.0
+    creation_seconds: float = 0.0
+    execution_seconds: float = 0.0
+    n_queries: int = 0
+    indexes_created: int = 0
+    indexes_dropped: int = 0
+    configuration_size: int = 0
+    configuration_bytes: int = 0
+    is_shift_round: bool = False
+
+    @property
+    def total_seconds(self) -> float:
+        """The paper's per-round total (recommendation + creation + execution)."""
+        return self.recommendation_seconds + self.creation_seconds + self.execution_seconds
+
+
+@dataclass
+class RunReport:
+    """All rounds of one (tuner, benchmark, workload-regime) run."""
+
+    tuner_name: str
+    benchmark_name: str
+    workload_type: str
+    rounds: list[RoundReport] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # aggregates
+    # ------------------------------------------------------------------ #
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def total_recommendation_seconds(self) -> float:
+        return sum(round_report.recommendation_seconds for round_report in self.rounds)
+
+    @property
+    def total_creation_seconds(self) -> float:
+        return sum(round_report.creation_seconds for round_report in self.rounds)
+
+    @property
+    def total_execution_seconds(self) -> float:
+        return sum(round_report.execution_seconds for round_report in self.rounds)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(round_report.total_seconds for round_report in self.rounds)
+
+    @property
+    def exploration_cost_seconds(self) -> float:
+        """Recommendation + creation time: the paper's "exploration cost"."""
+        return self.total_recommendation_seconds + self.total_creation_seconds
+
+    def total_minutes(self) -> float:
+        return self.total_seconds / 60.0
+
+    # ------------------------------------------------------------------ #
+    # series for the convergence figures
+    # ------------------------------------------------------------------ #
+    def per_round_totals(self) -> list[float]:
+        return [round_report.total_seconds for round_report in self.rounds]
+
+    def per_round_execution(self) -> list[float]:
+        return [round_report.execution_seconds for round_report in self.rounds]
+
+    def final_round_execution_seconds(self) -> float:
+        return self.rounds[-1].execution_seconds if self.rounds else 0.0
+
+    def breakdown_minutes(self) -> dict[str, float]:
+        """Table I style breakdown in minutes."""
+        return {
+            "recommendation": self.total_recommendation_seconds / 60.0,
+            "creation": self.total_creation_seconds / 60.0,
+            "execution": self.total_execution_seconds / 60.0,
+            "total": self.total_seconds / 60.0,
+        }
+
+    def summary(self) -> dict:
+        return {
+            "tuner": self.tuner_name,
+            "benchmark": self.benchmark_name,
+            "workload_type": self.workload_type,
+            "rounds": self.n_rounds,
+            "total_seconds": round(self.total_seconds, 2),
+            "recommendation_seconds": round(self.total_recommendation_seconds, 2),
+            "creation_seconds": round(self.total_creation_seconds, 2),
+            "execution_seconds": round(self.total_execution_seconds, 2),
+        }
+
+
+def speedup_percentage(baseline_seconds: float, candidate_seconds: float) -> float:
+    """The paper's speed-up metric: how much faster the candidate is vs the baseline.
+
+    Positive values mean the candidate (e.g. MAB) improves over the baseline
+    (e.g. PDTool); ``speedup = (baseline - candidate) / baseline * 100``.
+    """
+    if baseline_seconds <= 0:
+        return 0.0
+    return (baseline_seconds - candidate_seconds) / baseline_seconds * 100.0

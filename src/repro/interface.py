@@ -1,0 +1,66 @@
+"""The tuner interface shared by MAB, PDTool, NoIndex and the RL baselines.
+
+The simulation driver (:mod:`repro.harness.simulation`) interacts with every
+tuner through this small protocol, which encodes the paper's round structure:
+
+1. ``recommend`` — before a round's (unknown) workload arrives, propose the
+   index configuration to materialise.  Online tuners may only use what they
+   observed in previous rounds; PDTool-style tools additionally receive a
+   training workload on the rounds where the paper's protocol invokes them.
+2. the driver materialises the configuration and executes the round;
+3. ``observe`` — the tuner receives the executed queries, their observed
+   execution statistics and the configuration change (with per-index creation
+   times), from which it can shape rewards for the next round.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.engine.catalog import ConfigurationChange
+from repro.engine.execution import ExecutionResult
+from repro.engine.indexes import IndexDefinition
+from repro.engine.query import Query
+
+
+@dataclass
+class Recommendation:
+    """A tuner's proposal for one round."""
+
+    configuration: list[IndexDefinition] = field(default_factory=list)
+    #: Time charged as recommendation overhead for this round (model-seconds).
+    recommendation_seconds: float = 0.0
+
+
+class Tuner(ABC):
+    """Abstract online index tuner."""
+
+    #: Human-readable name used in reports (e.g. ``MAB``, ``PDTool``).
+    name: str = "tuner"
+
+    @abstractmethod
+    def recommend(
+        self,
+        round_number: int,
+        training_queries: list[Query] | None = None,
+    ) -> Recommendation:
+        """Propose the configuration to materialise for the upcoming round.
+
+        ``training_queries`` is non-``None`` only on rounds where the
+        experiment protocol invokes an offline tool (PDTool) with a DBA-style
+        training workload; online tuners must ignore it.
+        """
+
+    @abstractmethod
+    def observe(
+        self,
+        round_number: int,
+        queries: list[Query],
+        results: list[ExecutionResult],
+        change: ConfigurationChange,
+    ) -> None:
+        """Receive the executed round's observed statistics."""
+
+    def reset(self) -> None:
+        """Forget all learned state (used between experiment repetitions)."""

@@ -1,0 +1,262 @@
+"""Cost-based plan selection.
+
+The planner chooses, per query, an access path for every referenced table and
+a left-deep join order/method, minimising *estimated* cost.  Estimates come
+from :class:`~repro.optimizer.cardinality.CardinalityEstimator` (uniformity +
+AVI); actual run time is later determined by the executor over true
+cardinalities.  The same planner is used
+
+* by the execution pipeline (``configuration`` = the materialised indexes), and
+* by the what-if interface (``configuration`` = an arbitrary hypothetical set),
+
+which mirrors how real systems reuse the optimiser for hypothetical analysis.
+"""
+
+from __future__ import annotations
+
+from repro.engine.catalog import Database
+from repro.engine.indexes import IndexDefinition
+from repro.engine.plans import AccessMethod, JoinMethod, JoinStep, QueryPlan, TableAccessPlan
+from repro.engine.query import Query
+
+from .cardinality import CardinalityEstimator
+
+
+class Planner:
+    """Chooses minimum-estimated-cost plans for queries."""
+
+    def __init__(self, database: Database):
+        self.database = database
+        self.estimator = CardinalityEstimator(database.statistics)
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def plan(
+        self, query: Query, configuration: list[IndexDefinition] | None = None
+    ) -> QueryPlan:
+        """Return the cheapest (by estimate) plan for ``query`` under ``configuration``.
+
+        ``configuration`` defaults to the currently materialised indexes.
+        """
+        if configuration is None:
+            configuration = self.database.materialised_indexes
+        indexes_by_table: dict[str, list[IndexDefinition]] = {}
+        for index in configuration:
+            indexes_by_table.setdefault(index.table, []).append(index)
+
+        accesses: dict[str, TableAccessPlan] = {}
+        estimated_rows: dict[str, float] = {}
+        for table_name in query.tables:
+            access = self._best_access(query, table_name, indexes_by_table.get(table_name, []))
+            accesses[table_name] = access
+            estimated_rows[table_name] = access.estimated_rows
+
+        driving_table, join_steps, join_cost, result_rows = self._plan_joins(
+            query, accesses, estimated_rows, indexes_by_table
+        )
+
+        base_cost = accesses[driving_table].estimated_seconds
+        inl_tables = {
+            step.inner_table
+            for step in join_steps
+            if step.method is JoinMethod.INDEX_NESTED_LOOP
+        }
+        for table_name in query.tables:
+            if table_name == driving_table or table_name in inl_tables:
+                continue
+            base_cost += accesses[table_name].estimated_seconds
+
+        aggregation = self.database.cost_model.aggregation_seconds(int(result_rows))
+        overhead = self.database.cost_model.parameters.per_query_overhead_seconds
+        total = base_cost + join_cost + aggregation + overhead
+        return QueryPlan(
+            query=query,
+            accesses=accesses,
+            driving_table=driving_table,
+            join_steps=join_steps,
+            estimated_seconds=total,
+        )
+
+    # ------------------------------------------------------------------ #
+    # access-path selection
+    # ------------------------------------------------------------------ #
+    def _best_access(
+        self, query: Query, table_name: str, indexes: list[IndexDefinition]
+    ) -> TableAccessPlan:
+        data = self.database.table_data(table_name)
+        cost_model = self.database.cost_model
+        filtered_rows = self.estimator.table_cardinality(query, table_name)
+        predicate_columns = set(query.predicate_columns_for(table_name))
+        referenced = query.referenced_columns_for(table_name)
+
+        best = TableAccessPlan(
+            table=table_name,
+            method=AccessMethod.FULL_SCAN,
+            estimated_rows=filtered_rows,
+            estimated_seconds=cost_model.full_scan_seconds(data),
+        )
+        for index in indexes:
+            covering = index.covers_columns(referenced)
+            prefix_length = index.seekable_prefix_length(predicate_columns)
+            if prefix_length > 0:
+                prefix_columns = set(index.key_prefix(prefix_length))
+                prefix_predicates = tuple(
+                    predicate
+                    for predicate in query.predicates_for(table_name)
+                    if predicate.column in prefix_columns
+                )
+                matching = self.estimator.conjunctive_selectivity(prefix_predicates) * data.full_row_count
+                estimated_seconds = cost_model.index_seek_seconds(
+                    index, data, int(max(1.0, matching)), covering=covering
+                )
+                candidate = TableAccessPlan(
+                    table=table_name,
+                    method=AccessMethod.INDEX_SEEK,
+                    index=index,
+                    seek_prefix_length=prefix_length,
+                    covering=covering,
+                    estimated_rows=filtered_rows,
+                    estimated_seconds=estimated_seconds,
+                )
+            elif covering:
+                candidate = TableAccessPlan(
+                    table=table_name,
+                    method=AccessMethod.INDEX_ONLY_SCAN,
+                    index=index,
+                    covering=True,
+                    estimated_rows=filtered_rows,
+                    estimated_seconds=cost_model.index_only_scan_seconds(index, data),
+                )
+            else:
+                continue
+            if candidate.estimated_seconds < best.estimated_seconds:
+                best = candidate
+        return best
+
+    # ------------------------------------------------------------------ #
+    # join planning
+    # ------------------------------------------------------------------ #
+    def _plan_joins(
+        self,
+        query: Query,
+        accesses: dict[str, TableAccessPlan],
+        estimated_rows: dict[str, float],
+        indexes_by_table: dict[str, list[IndexDefinition]],
+    ) -> tuple[str, list[JoinStep], float, float]:
+        """Greedy left-deep join order: start from the smallest estimated input."""
+        tables = list(query.tables)
+        if len(tables) == 1:
+            only = tables[0]
+            return only, [], 0.0, estimated_rows[only]
+
+        ordered = sorted(tables, key=lambda name: estimated_rows[name])
+        driving_table = ordered[0]
+        joined: set[str] = {driving_table}
+        remaining = [name for name in ordered if name != driving_table]
+        current_rows = estimated_rows[driving_table]
+        join_steps: list[JoinStep] = []
+        total_join_cost = 0.0
+
+        while remaining:
+            # Prefer tables connected to the already-joined set (avoid cross joins).
+            next_table = self._pick_next_table(query, joined, remaining)
+            remaining.remove(next_table)
+            step, step_cost, current_rows = self._best_join_step(
+                query,
+                joined,
+                next_table,
+                current_rows,
+                estimated_rows[next_table],
+                accesses[next_table],
+                indexes_by_table.get(next_table, []),
+            )
+            join_steps.append(step)
+            total_join_cost += step_cost
+            joined.add(next_table)
+        return driving_table, join_steps, total_join_cost, current_rows
+
+    def _pick_next_table(
+        self, query: Query, joined: set[str], remaining: list[str]
+    ) -> str:
+        for table_name in remaining:
+            for join in query.joins:
+                if join.involves(table_name) and (
+                    (join.left_table in joined) or (join.right_table in joined)
+                ):
+                    return table_name
+        return remaining[0]
+
+    def _join_connection(
+        self, query: Query, joined: set[str], inner_table: str
+    ) -> tuple[str, str, str] | None:
+        """Return ``(outer_table, outer_column, inner_column)`` linking the sets, if any."""
+        for join in query.joins:
+            if join.left_table == inner_table and join.right_table in joined:
+                return join.right_table, join.right_column, join.left_column
+            if join.right_table == inner_table and join.left_table in joined:
+                return join.left_table, join.left_column, join.right_column
+        return None
+
+    def _best_join_step(
+        self,
+        query: Query,
+        joined: set[str],
+        inner_table: str,
+        outer_rows: float,
+        inner_rows: float,
+        inner_access: TableAccessPlan,
+        inner_indexes: list[IndexDefinition],
+    ) -> tuple[JoinStep, float, float]:
+        cost_model = self.database.cost_model
+        inner_data = self.database.table_data(inner_table)
+        connection = self._join_connection(query, joined, inner_table)
+
+        if connection is None:
+            result_rows = max(1.0, outer_rows * inner_rows / max(1.0, inner_data.full_row_count))
+        else:
+            outer_table, outer_column, inner_column = connection
+            result_rows = self.estimator.join_cardinality(
+                outer_rows, outer_table, outer_column, inner_rows, inner_table, inner_column
+            )
+
+        # Option 1: hash join (build on the inner input, probe with the outer).
+        hash_cost = cost_model.hash_join_seconds(int(inner_rows), int(outer_rows))
+        hash_cost += inner_access.estimated_seconds
+        best_step = JoinStep(
+            inner_table=inner_table,
+            method=JoinMethod.HASH_JOIN,
+            estimated_outer_rows=outer_rows,
+            estimated_result_rows=result_rows,
+            estimated_seconds=hash_cost,
+        )
+        best_cost = hash_cost
+
+        # Option 2: index nested loop, if an index leads with the join column.
+        if connection is not None:
+            _, _, inner_column = connection
+            referenced = query.referenced_columns_for(inner_table)
+            rows_per_probe = self.estimator.rows_per_join_key(inner_table, inner_column)
+            for index in inner_indexes:
+                if index.leading_column() != inner_column:
+                    continue
+                covering = index.covers_columns(referenced)
+                inl_cost = cost_model.index_nested_loop_seconds(
+                    outer_rows=int(outer_rows),
+                    inner_index=index,
+                    inner_data=inner_data,
+                    rows_per_probe=rows_per_probe,
+                    covering=covering,
+                )
+                if inl_cost < best_cost:
+                    best_cost = inl_cost
+                    best_step = JoinStep(
+                        inner_table=inner_table,
+                        method=JoinMethod.INDEX_NESTED_LOOP,
+                        index=index,
+                        covering=covering,
+                        estimated_outer_rows=outer_rows,
+                        estimated_result_rows=result_rows,
+                        estimated_seconds=inl_cost,
+                    )
+        return best_step, best_cost, result_rows

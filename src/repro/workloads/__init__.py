@@ -1,0 +1,51 @@
+"""Benchmark workloads and workload sequencers.
+
+Provides the paper's five evaluation benchmarks (TPC-H, TPC-H Skew, SSB,
+TPC-DS, IMDb/JOB) as schema + data-generator + query-template bundles, and the
+three workload regimes (static, dynamic shifting, dynamic random).
+"""
+
+from .base import DEFAULT_SAMPLE_ROWS, Benchmark
+from .generator import (
+    RandomWorkload,
+    ShiftingWorkload,
+    StaticWorkload,
+    WorkloadRound,
+    WorkloadSequence,
+    round_to_round_repeat_rate,
+)
+from .registry import BENCHMARK_NAMES, available_benchmarks, get_benchmark
+from .templates import (
+    PredicateTemplate,
+    QueryTemplate,
+    ValueMode,
+    between,
+    bottom_fraction,
+    eq,
+    in_list,
+    join,
+    top_fraction,
+)
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "Benchmark",
+    "DEFAULT_SAMPLE_ROWS",
+    "PredicateTemplate",
+    "QueryTemplate",
+    "RandomWorkload",
+    "ShiftingWorkload",
+    "StaticWorkload",
+    "ValueMode",
+    "WorkloadRound",
+    "WorkloadSequence",
+    "available_benchmarks",
+    "between",
+    "bottom_fraction",
+    "eq",
+    "get_benchmark",
+    "in_list",
+    "join",
+    "round_to_round_repeat_rate",
+    "top_fraction",
+]

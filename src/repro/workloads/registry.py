@@ -1,0 +1,39 @@
+"""Benchmark registry: look benchmarks up by name."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import Benchmark
+from .imdb import build_benchmark as _build_imdb
+from .ssb import build_benchmark as _build_ssb
+from .tpch import build_benchmark as _build_tpch
+from .tpch_skew import build_skewed_benchmark as _build_tpch_skew
+from .tpcds import build_benchmark as _build_tpcds
+
+_BUILDERS: dict[str, Callable[[], Benchmark]] = {
+    "tpch": _build_tpch,
+    "tpch_skew": _build_tpch_skew,
+    "ssb": _build_ssb,
+    "tpcds": _build_tpcds,
+    "imdb": _build_imdb,
+}
+
+#: The order in which the paper presents its five benchmarks.
+BENCHMARK_NAMES = ["ssb", "tpch", "tpch_skew", "tpcds", "imdb"]
+
+
+def available_benchmarks() -> list[str]:
+    """Names accepted by :func:`get_benchmark`."""
+    return sorted(_BUILDERS)
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Build the named benchmark, raising ``KeyError`` with guidance if unknown."""
+    lowered = name.strip().lower()
+    for key in (lowered, lowered.replace("-", "_"), lowered.replace("-", "")):
+        if key in _BUILDERS:
+            return _BUILDERS[key]()
+    raise KeyError(
+        f"unknown benchmark {name!r}; available: {', '.join(available_benchmarks())}"
+    )

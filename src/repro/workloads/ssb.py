@@ -1,0 +1,233 @@
+"""Star Schema Benchmark (SSB): schema, data and 13 query templates.
+
+SSB is a star-schema simplification of TPC-H: a single ``lineorder`` fact
+table joined to four dimension tables.  Its 13 queries are organised in four
+flights with progressively tighter dimension filters; the paper uses it as the
+benchmark with "easily achievable high index benefits".
+"""
+
+from __future__ import annotations
+
+from repro.engine.datagen import (
+    DateRange,
+    ForeignKeyRef,
+    SequentialKey,
+    TableSpec,
+    UniformFloat,
+    UniformInt,
+    scale_rows,
+)
+from repro.engine.schema import Column, ColumnType, ForeignKey, Schema, Table
+
+from .base import Benchmark
+from .templates import QueryTemplate, between, bottom_fraction, eq, in_list, join
+
+#: SF 1 row counts from the SSB specification.
+BASE_ROWS = {
+    "lineorder": 6_000_000,
+    "date_dim": 2_556,
+    "customer": 30_000,
+    "supplier": 2_000,
+    "part": 200_000,
+}
+
+
+def build_schema() -> Schema:
+    integer = ColumnType.INTEGER
+    decimal = ColumnType.DECIMAL
+    char = ColumnType.CHAR
+    tables = [
+        Table("date_dim", [
+            Column("d_datekey", integer), Column("d_year", integer),
+            Column("d_yearmonthnum", integer), Column("d_weeknuminyear", integer),
+        ], primary_key=("d_datekey",)),
+        Table("customer", [
+            Column("c_custkey", integer), Column("c_city", integer),
+            Column("c_nation", integer), Column("c_region", integer),
+        ], primary_key=("c_custkey",)),
+        Table("supplier", [
+            Column("s_suppkey", integer), Column("s_city", integer),
+            Column("s_nation", integer), Column("s_region", integer),
+        ], primary_key=("s_suppkey",)),
+        Table("part", [
+            Column("p_partkey", integer), Column("p_mfgr", integer),
+            Column("p_category", integer), Column("p_brand1", integer),
+        ], primary_key=("p_partkey",)),
+        Table("lineorder", [
+            Column("lo_orderkey", integer), Column("lo_linenumber", integer),
+            Column("lo_custkey", integer), Column("lo_partkey", integer),
+            Column("lo_suppkey", integer), Column("lo_orderdate", integer),
+            Column("lo_quantity", integer), Column("lo_extendedprice", decimal),
+            Column("lo_discount", integer), Column("lo_revenue", decimal),
+            Column("lo_supplycost", decimal), Column("lo_ordtotalprice", decimal),
+            Column("lo_shipmode", char),
+        ], primary_key=("lo_orderkey", "lo_linenumber")),
+    ]
+    foreign_keys = [
+        ForeignKey("lineorder", "lo_custkey", "customer", "c_custkey"),
+        ForeignKey("lineorder", "lo_partkey", "part", "p_partkey"),
+        ForeignKey("lineorder", "lo_suppkey", "supplier", "s_suppkey"),
+        ForeignKey("lineorder", "lo_orderdate", "date_dim", "d_datekey"),
+    ]
+    return Schema(name="ssb", tables=tables, foreign_keys=foreign_keys)
+
+
+def build_table_specs(scale_factor: float) -> list[TableSpec]:
+    rows = {name: scale_rows(count, scale_factor) for name, count in BASE_ROWS.items()}
+    rows["date_dim"] = BASE_ROWS["date_dim"]  # the date dimension never scales
+    return [
+        TableSpec("date_dim", rows["date_dim"], {
+            "d_datekey": SequentialKey(),
+            "d_year": UniformInt(1992, 1998),
+            "d_yearmonthnum": UniformInt(199201, 199812),
+            "d_weeknuminyear": UniformInt(1, 53),
+        }),
+        TableSpec("customer", rows["customer"], {
+            "c_custkey": SequentialKey(),
+            "c_city": UniformInt(0, 249),
+            "c_nation": UniformInt(0, 24),
+            "c_region": UniformInt(0, 4),
+        }),
+        TableSpec("supplier", rows["supplier"], {
+            "s_suppkey": SequentialKey(),
+            "s_city": UniformInt(0, 249),
+            "s_nation": UniformInt(0, 24),
+            "s_region": UniformInt(0, 4),
+        }),
+        TableSpec("part", rows["part"], {
+            "p_partkey": SequentialKey(),
+            "p_mfgr": UniformInt(0, 4),
+            "p_category": UniformInt(0, 24),
+            "p_brand1": UniformInt(0, 999),
+        }),
+        TableSpec("lineorder", rows["lineorder"], {
+            "lo_orderkey": SequentialKey(),
+            "lo_linenumber": UniformInt(1, 7),
+            "lo_custkey": ForeignKeyRef(rows["customer"]),
+            "lo_partkey": ForeignKeyRef(rows["part"]),
+            "lo_suppkey": ForeignKeyRef(rows["supplier"]),
+            "lo_orderdate": ForeignKeyRef(rows["date_dim"]),
+            "lo_quantity": UniformInt(1, 50),
+            "lo_extendedprice": UniformFloat(900.0, 105_000.0),
+            "lo_discount": UniformInt(0, 10),
+            "lo_revenue": UniformFloat(0.0, 100_000.0),
+            "lo_supplycost": UniformFloat(1.0, 1_000.0),
+            "lo_ordtotalprice": UniformFloat(800.0, 450_000.0),
+            "lo_shipmode": UniformInt(0, 6),
+        }),
+    ]
+
+
+def build_templates() -> list[QueryTemplate]:
+    """The 13 SSB queries (four flights) as structural templates."""
+    revenue = ("lo_extendedprice", "lo_discount", "lo_revenue")
+    date_join = join("lineorder", "lo_orderdate", "date_dim", "d_datekey")
+    cust_join = join("lineorder", "lo_custkey", "customer", "c_custkey")
+    supp_join = join("lineorder", "lo_suppkey", "supplier", "s_suppkey")
+    part_join = join("lineorder", "lo_partkey", "part", "p_partkey")
+    return [
+        # Flight 1: date + measure filters on the fact table.
+        QueryTemplate("ssb_q1_1", ("lineorder", "date_dim"), joins=(date_join,),
+                      payload={"lineorder": revenue},
+                      predicates=(eq("date_dim", "d_year"),
+                                  between("lineorder", "lo_discount", 0.2, 0.3),
+                                  bottom_fraction("lineorder", "lo_quantity", 0.45, 0.50)),
+                      description="Flight 1 query 1"),
+        QueryTemplate("ssb_q1_2", ("lineorder", "date_dim"), joins=(date_join,),
+                      payload={"lineorder": revenue},
+                      predicates=(eq("date_dim", "d_yearmonthnum"),
+                                  between("lineorder", "lo_discount", 0.3, 0.4),
+                                  between("lineorder", "lo_quantity", 0.18, 0.22)),
+                      description="Flight 1 query 2"),
+        QueryTemplate("ssb_q1_3", ("lineorder", "date_dim"), joins=(date_join,),
+                      payload={"lineorder": revenue},
+                      predicates=(eq("date_dim", "d_weeknuminyear"), eq("date_dim", "d_year"),
+                                  between("lineorder", "lo_discount", 0.4, 0.6),
+                                  between("lineorder", "lo_quantity", 0.10, 0.14)),
+                      description="Flight 1 query 3"),
+        # Flight 2: part and supplier dimension filters.
+        QueryTemplate("ssb_q2_1", ("lineorder", "date_dim", "part", "supplier"),
+                      joins=(date_join, part_join, supp_join),
+                      payload={"lineorder": ("lo_revenue",), "date_dim": ("d_year",),
+                               "part": ("p_brand1",)},
+                      predicates=(eq("part", "p_category"), eq("supplier", "s_region")),
+                      description="Flight 2 query 1"),
+        QueryTemplate("ssb_q2_2", ("lineorder", "date_dim", "part", "supplier"),
+                      joins=(date_join, part_join, supp_join),
+                      payload={"lineorder": ("lo_revenue",), "date_dim": ("d_year",),
+                               "part": ("p_brand1",)},
+                      predicates=(in_list("part", "p_brand1", 8), eq("supplier", "s_region")),
+                      description="Flight 2 query 2"),
+        QueryTemplate("ssb_q2_3", ("lineorder", "date_dim", "part", "supplier"),
+                      joins=(date_join, part_join, supp_join),
+                      payload={"lineorder": ("lo_revenue",), "date_dim": ("d_year",),
+                               "part": ("p_brand1",)},
+                      predicates=(eq("part", "p_brand1"), eq("supplier", "s_region")),
+                      description="Flight 2 query 3"),
+        # Flight 3: customer/supplier geography over a date range.
+        QueryTemplate("ssb_q3_1", ("lineorder", "date_dim", "customer", "supplier"),
+                      joins=(date_join, cust_join, supp_join),
+                      payload={"customer": ("c_nation",), "supplier": ("s_nation",),
+                               "date_dim": ("d_year",), "lineorder": ("lo_revenue",)},
+                      predicates=(eq("customer", "c_region"), eq("supplier", "s_region"),
+                                  between("date_dim", "d_year", 0.5, 0.9)),
+                      description="Flight 3 query 1"),
+        QueryTemplate("ssb_q3_2", ("lineorder", "date_dim", "customer", "supplier"),
+                      joins=(date_join, cust_join, supp_join),
+                      payload={"customer": ("c_city",), "supplier": ("s_city",),
+                               "date_dim": ("d_year",), "lineorder": ("lo_revenue",)},
+                      predicates=(eq("customer", "c_nation"), eq("supplier", "s_nation"),
+                                  between("date_dim", "d_year", 0.5, 0.9)),
+                      description="Flight 3 query 2"),
+        QueryTemplate("ssb_q3_3", ("lineorder", "date_dim", "customer", "supplier"),
+                      joins=(date_join, cust_join, supp_join),
+                      payload={"customer": ("c_city",), "supplier": ("s_city",),
+                               "date_dim": ("d_year",), "lineorder": ("lo_revenue",)},
+                      predicates=(in_list("customer", "c_city", 2), in_list("supplier", "s_city", 2),
+                                  between("date_dim", "d_year", 0.5, 0.9)),
+                      description="Flight 3 query 3"),
+        QueryTemplate("ssb_q3_4", ("lineorder", "date_dim", "customer", "supplier"),
+                      joins=(date_join, cust_join, supp_join),
+                      payload={"customer": ("c_city",), "supplier": ("s_city",),
+                               "date_dim": ("d_year",), "lineorder": ("lo_revenue",)},
+                      predicates=(in_list("customer", "c_city", 2), in_list("supplier", "s_city", 2),
+                                  eq("date_dim", "d_yearmonthnum")),
+                      description="Flight 3 query 4"),
+        # Flight 4: profit drill-down across all dimensions.
+        QueryTemplate("ssb_q4_1", ("lineorder", "date_dim", "customer", "supplier", "part"),
+                      joins=(date_join, cust_join, supp_join, part_join),
+                      payload={"date_dim": ("d_year",), "customer": ("c_nation",),
+                               "lineorder": ("lo_revenue", "lo_supplycost")},
+                      predicates=(eq("customer", "c_region"), eq("supplier", "s_region"),
+                                  in_list("part", "p_mfgr", 2)),
+                      description="Flight 4 query 1"),
+        QueryTemplate("ssb_q4_2", ("lineorder", "date_dim", "customer", "supplier", "part"),
+                      joins=(date_join, cust_join, supp_join, part_join),
+                      payload={"date_dim": ("d_year",), "supplier": ("s_nation",),
+                               "part": ("p_category",),
+                               "lineorder": ("lo_revenue", "lo_supplycost")},
+                      predicates=(eq("customer", "c_region"), eq("supplier", "s_region"),
+                                  between("date_dim", "d_year", 0.2, 0.35),
+                                  in_list("part", "p_mfgr", 2)),
+                      description="Flight 4 query 2"),
+        QueryTemplate("ssb_q4_3", ("lineorder", "date_dim", "customer", "supplier", "part"),
+                      joins=(date_join, cust_join, supp_join, part_join),
+                      payload={"date_dim": ("d_year",), "supplier": ("s_city",),
+                               "part": ("p_brand1",),
+                               "lineorder": ("lo_revenue", "lo_supplycost")},
+                      predicates=(eq("customer", "c_region"), eq("supplier", "s_nation"),
+                                  between("date_dim", "d_year", 0.2, 0.35),
+                                  eq("part", "p_category")),
+                      description="Flight 4 query 3"),
+    ]
+
+
+def build_benchmark() -> Benchmark:
+    return Benchmark(
+        name="ssb",
+        schema=build_schema(),
+        table_spec_builder=build_table_specs,
+        templates=build_templates(),
+        default_scale_factor=10.0,
+        description="Star Schema Benchmark (13 queries, star joins around lineorder)",
+    )

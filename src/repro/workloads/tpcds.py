@@ -1,0 +1,349 @@
+"""TPC-DS benchmark: subset schema, skewed data and 99 query-template families.
+
+TPC-DS matters to the paper for two reasons: it has by far the largest
+candidate-index space (the paper counts over 3,200 candidates), which stresses
+exploration efficiency and blows up the PDTool's recommendation time; and its
+data is intentionally skewed, so optimiser estimates are unreliable.
+
+We model the snowflake core of the benchmark — the three sales channels
+(store, catalog, web) and their most frequently filtered dimensions — and
+generate 99 structurally distinct template families programmatically, cycling
+fact tables, dimension subsets and predicate columns the way the official
+query set does.  What matters for index tuning is the *diversity* of
+predicate/join/payload column combinations, which this construction preserves.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.engine.datagen import (
+    ForeignKeyRef,
+    SequentialKey,
+    TableSpec,
+    UniformFloat,
+    UniformInt,
+    ZipfianInt,
+    scale_rows,
+)
+from repro.engine.schema import Column, ColumnType, ForeignKey, Schema, Table
+
+from .base import Benchmark
+from .templates import QueryTemplate, between, eq, in_list, join, top_fraction
+
+#: SF 1 row counts (approximate, from the TPC-DS specification).
+BASE_ROWS = {
+    "date_dim": 73_049,
+    "item": 18_000,
+    "customer": 100_000,
+    "customer_address": 50_000,
+    "customer_demographics": 1_920_800,
+    "household_demographics": 7_200,
+    "store": 12,
+    "promotion": 300,
+    "warehouse": 5,
+    "store_sales": 2_880_404,
+    "catalog_sales": 1_441_548,
+    "web_sales": 719_384,
+}
+
+#: Dimension tables never scale with SF in TPC-DS (facts do).
+NON_SCALING_TABLES = {
+    "date_dim", "item", "customer", "customer_address", "customer_demographics",
+    "household_demographics", "store", "promotion", "warehouse",
+}
+
+#: The three sales channels share the same logical structure.
+FACT_TABLES = {
+    "store_sales": "ss",
+    "catalog_sales": "cs",
+    "web_sales": "ws",
+}
+
+
+def _fact_columns(prefix: str) -> list[Column]:
+    integer = ColumnType.INTEGER
+    decimal = ColumnType.DECIMAL
+    return [
+        Column(f"{prefix}_sold_date_sk", integer),
+        Column(f"{prefix}_item_sk", integer),
+        Column(f"{prefix}_customer_sk", integer),
+        Column(f"{prefix}_cdemo_sk", integer),
+        Column(f"{prefix}_hdemo_sk", integer),
+        Column(f"{prefix}_addr_sk", integer),
+        Column(f"{prefix}_store_sk", integer),
+        Column(f"{prefix}_promo_sk", integer),
+        Column(f"{prefix}_quantity", integer),
+        Column(f"{prefix}_wholesale_cost", decimal),
+        Column(f"{prefix}_list_price", decimal),
+        Column(f"{prefix}_sales_price", decimal),
+        Column(f"{prefix}_ext_discount_amt", decimal),
+        Column(f"{prefix}_ext_sales_price", decimal),
+        Column(f"{prefix}_net_profit", decimal),
+    ]
+
+
+def build_schema() -> Schema:
+    integer = ColumnType.INTEGER
+    char = ColumnType.CHAR
+    decimal = ColumnType.DECIMAL
+    tables = [
+        Table("date_dim", [
+            Column("d_date_sk", integer), Column("d_year", integer),
+            Column("d_moy", integer), Column("d_dom", integer),
+            Column("d_qoy", integer), Column("d_day_name", char),
+        ], primary_key=("d_date_sk",)),
+        Table("item", [
+            Column("i_item_sk", integer), Column("i_brand_id", integer),
+            Column("i_class_id", integer), Column("i_category_id", integer),
+            Column("i_manufact_id", integer), Column("i_current_price", decimal),
+            Column("i_color", integer), Column("i_size", integer),
+        ], primary_key=("i_item_sk",)),
+        Table("customer", [
+            Column("c_customer_sk", integer), Column("c_current_cdemo_sk", integer),
+            Column("c_current_hdemo_sk", integer), Column("c_current_addr_sk", integer),
+            Column("c_birth_year", integer), Column("c_birth_country", integer),
+        ], primary_key=("c_customer_sk",)),
+        Table("customer_address", [
+            Column("ca_address_sk", integer), Column("ca_state", integer),
+            Column("ca_city", integer), Column("ca_county", integer),
+            Column("ca_gmt_offset", integer),
+        ], primary_key=("ca_address_sk",)),
+        Table("customer_demographics", [
+            Column("cd_demo_sk", integer), Column("cd_gender", integer),
+            Column("cd_marital_status", integer), Column("cd_education_status", integer),
+            Column("cd_dep_count", integer),
+        ], primary_key=("cd_demo_sk",)),
+        Table("household_demographics", [
+            Column("hd_demo_sk", integer), Column("hd_income_band_sk", integer),
+            Column("hd_buy_potential", integer), Column("hd_dep_count", integer),
+            Column("hd_vehicle_count", integer),
+        ], primary_key=("hd_demo_sk",)),
+        Table("store", [
+            Column("s_store_sk", integer), Column("s_state", integer),
+            Column("s_county", integer), Column("s_number_employees", integer),
+        ], primary_key=("s_store_sk",)),
+        Table("promotion", [
+            Column("p_promo_sk", integer), Column("p_channel_email", integer),
+            Column("p_channel_tv", integer), Column("p_response_target", integer),
+        ], primary_key=("p_promo_sk",)),
+        Table("warehouse", [
+            Column("w_warehouse_sk", integer), Column("w_state", integer),
+            Column("w_warehouse_sq_ft", integer),
+        ], primary_key=("w_warehouse_sk",)),
+    ]
+    for fact_table, prefix in FACT_TABLES.items():
+        tables.append(Table(fact_table, _fact_columns(prefix)))
+    foreign_keys = []
+    for fact_table, prefix in FACT_TABLES.items():
+        foreign_keys.extend([
+            ForeignKey(fact_table, f"{prefix}_sold_date_sk", "date_dim", "d_date_sk"),
+            ForeignKey(fact_table, f"{prefix}_item_sk", "item", "i_item_sk"),
+            ForeignKey(fact_table, f"{prefix}_customer_sk", "customer", "c_customer_sk"),
+            ForeignKey(fact_table, f"{prefix}_cdemo_sk", "customer_demographics", "cd_demo_sk"),
+            ForeignKey(fact_table, f"{prefix}_hdemo_sk", "household_demographics", "hd_demo_sk"),
+            ForeignKey(fact_table, f"{prefix}_addr_sk", "customer_address", "ca_address_sk"),
+            ForeignKey(fact_table, f"{prefix}_store_sk", "store", "s_store_sk"),
+            ForeignKey(fact_table, f"{prefix}_promo_sk", "promotion", "p_promo_sk"),
+        ])
+    return Schema(name="tpcds", tables=tables, foreign_keys=foreign_keys)
+
+
+def build_table_specs(scale_factor: float) -> list[TableSpec]:
+    rows = {}
+    for name, count in BASE_ROWS.items():
+        rows[name] = count if name in NON_SCALING_TABLES else scale_rows(count, scale_factor)
+
+    specs = [
+        TableSpec("date_dim", rows["date_dim"], {
+            "d_date_sk": SequentialKey(),
+            "d_year": UniformInt(1998, 2003),
+            "d_moy": UniformInt(1, 12),
+            "d_dom": UniformInt(1, 31),
+            "d_qoy": UniformInt(1, 4),
+            "d_day_name": UniformInt(0, 6),
+        }),
+        TableSpec("item", rows["item"], {
+            "i_item_sk": SequentialKey(),
+            "i_brand_id": ZipfianInt(low=1, n_distinct=1000, skew=1.0),
+            "i_class_id": UniformInt(1, 16),
+            "i_category_id": UniformInt(1, 10),
+            "i_manufact_id": ZipfianInt(low=1, n_distinct=1000, skew=1.0),
+            "i_current_price": UniformFloat(0.1, 300.0),
+            "i_color": UniformInt(0, 92),
+            "i_size": UniformInt(0, 7),
+        }),
+        TableSpec("customer", rows["customer"], {
+            "c_customer_sk": SequentialKey(),
+            "c_current_cdemo_sk": ForeignKeyRef(rows["customer_demographics"]),
+            "c_current_hdemo_sk": ForeignKeyRef(rows["household_demographics"]),
+            "c_current_addr_sk": ForeignKeyRef(rows["customer_address"]),
+            "c_birth_year": UniformInt(1930, 1995),
+            "c_birth_country": ZipfianInt(low=0, n_distinct=200, skew=1.2),
+        }),
+        TableSpec("customer_address", rows["customer_address"], {
+            "ca_address_sk": SequentialKey(),
+            "ca_state": ZipfianInt(low=0, n_distinct=51, skew=1.0),
+            "ca_city": ZipfianInt(low=0, n_distinct=900, skew=1.0),
+            "ca_county": UniformInt(0, 1800),
+            "ca_gmt_offset": UniformInt(-10, -5),
+        }),
+        TableSpec("customer_demographics", rows["customer_demographics"], {
+            "cd_demo_sk": SequentialKey(),
+            "cd_gender": UniformInt(0, 1),
+            "cd_marital_status": UniformInt(0, 4),
+            "cd_education_status": UniformInt(0, 6),
+            "cd_dep_count": UniformInt(0, 6),
+        }),
+        TableSpec("household_demographics", rows["household_demographics"], {
+            "hd_demo_sk": SequentialKey(),
+            "hd_income_band_sk": UniformInt(1, 20),
+            "hd_buy_potential": UniformInt(0, 5),
+            "hd_dep_count": UniformInt(0, 9),
+            "hd_vehicle_count": UniformInt(0, 4),
+        }),
+        TableSpec("store", rows["store"], {
+            "s_store_sk": SequentialKey(),
+            "s_state": UniformInt(0, 8),
+            "s_county": UniformInt(0, 8),
+            "s_number_employees": UniformInt(200, 300),
+        }),
+        TableSpec("promotion", rows["promotion"], {
+            "p_promo_sk": SequentialKey(),
+            "p_channel_email": UniformInt(0, 1),
+            "p_channel_tv": UniformInt(0, 1),
+            "p_response_target": UniformInt(0, 1),
+        }),
+        TableSpec("warehouse", rows["warehouse"], {
+            "w_warehouse_sk": SequentialKey(),
+            "w_state": UniformInt(0, 8),
+            "w_warehouse_sq_ft": UniformInt(50_000, 1_000_000),
+        }),
+    ]
+    for fact_table, prefix in FACT_TABLES.items():
+        specs.append(TableSpec(fact_table, rows[fact_table], {
+            f"{prefix}_sold_date_sk": ForeignKeyRef(rows["date_dim"], skew=0.5),
+            f"{prefix}_item_sk": ForeignKeyRef(rows["item"], skew=1.0),
+            f"{prefix}_customer_sk": ForeignKeyRef(rows["customer"], skew=0.8),
+            f"{prefix}_cdemo_sk": ForeignKeyRef(rows["customer_demographics"]),
+            f"{prefix}_hdemo_sk": ForeignKeyRef(rows["household_demographics"]),
+            f"{prefix}_addr_sk": ForeignKeyRef(rows["customer_address"], skew=0.8),
+            f"{prefix}_store_sk": ForeignKeyRef(rows["store"]),
+            f"{prefix}_promo_sk": ForeignKeyRef(rows["promotion"], skew=1.0),
+            f"{prefix}_quantity": UniformInt(1, 100),
+            f"{prefix}_wholesale_cost": UniformFloat(1.0, 100.0),
+            f"{prefix}_list_price": UniformFloat(1.0, 300.0),
+            f"{prefix}_sales_price": UniformFloat(0.0, 300.0),
+            f"{prefix}_ext_discount_amt": UniformFloat(0.0, 30_000.0),
+            f"{prefix}_ext_sales_price": UniformFloat(0.0, 30_000.0),
+            f"{prefix}_net_profit": UniformFloat(-10_000.0, 20_000.0),
+        }))
+    return specs
+
+
+# --------------------------------------------------------------------- #
+# template generation
+# --------------------------------------------------------------------- #
+#: Dimension join metadata: name -> (dimension key, predicate column choices).
+_DIMENSIONS = {
+    "date_dim": ("d_date_sk", ["d_year", "d_moy", "d_qoy", "d_dom"]),
+    "item": ("i_item_sk", ["i_category_id", "i_brand_id", "i_class_id", "i_color", "i_manufact_id"]),
+    "customer": ("c_customer_sk", ["c_birth_year", "c_birth_country"]),
+    "customer_address": ("ca_address_sk", ["ca_state", "ca_city", "ca_gmt_offset"]),
+    "customer_demographics": ("cd_demo_sk", ["cd_gender", "cd_marital_status", "cd_education_status"]),
+    "household_demographics": ("hd_demo_sk", ["hd_buy_potential", "hd_dep_count", "hd_vehicle_count"]),
+    "store": ("s_store_sk", ["s_state", "s_county"]),
+    "promotion": ("p_promo_sk", ["p_channel_email", "p_channel_tv"]),
+}
+
+#: Fact foreign-key column per (fact prefix, dimension).
+_FACT_FK = {
+    "date_dim": "sold_date_sk",
+    "item": "item_sk",
+    "customer": "customer_sk",
+    "customer_address": "addr_sk",
+    "customer_demographics": "cdemo_sk",
+    "household_demographics": "hdemo_sk",
+    "store": "store_sk",
+    "promotion": "promo_sk",
+}
+
+#: Dimension subsets used by the query families, cycled over fact tables.
+_DIMENSION_COMBOS = [
+    ("date_dim", "item"),
+    ("date_dim", "store"),
+    ("date_dim", "customer", "customer_address"),
+    ("date_dim", "item", "promotion"),
+    ("date_dim", "household_demographics"),
+    ("date_dim", "customer_demographics", "item"),
+    ("item", "customer_address"),
+    ("date_dim", "store", "household_demographics"),
+    ("date_dim", "item", "customer"),
+    ("customer", "customer_address", "household_demographics"),
+    ("date_dim",),
+]
+
+#: Fact-side measure/filter columns (suffixes appended to the fact prefix).
+_FACT_MEASURES = [
+    ("quantity", "sales_price"),
+    ("ext_sales_price", "net_profit"),
+    ("list_price", "ext_discount_amt"),
+    ("wholesale_cost", "net_profit"),
+]
+
+
+def build_templates(target_count: int = 99) -> list[QueryTemplate]:
+    """Generate ``target_count`` structurally distinct query-template families."""
+    templates: list[QueryTemplate] = []
+    fact_cycle = itertools.cycle(FACT_TABLES.items())
+    combo_cycle = itertools.cycle(_DIMENSION_COMBOS)
+    measure_cycle = itertools.cycle(_FACT_MEASURES)
+    predicate_offset = 0
+    while len(templates) < target_count:
+        fact_table, prefix = next(fact_cycle)
+        dimensions = next(combo_cycle)
+        measures = next(measure_cycle)
+        index = len(templates) + 1
+        joins = []
+        predicates = []
+        payload: dict[str, tuple[str, ...]] = {
+            fact_table: tuple(f"{prefix}_{measure}" for measure in measures)
+        }
+        for position, dimension in enumerate(dimensions):
+            key_column, predicate_columns = _DIMENSIONS[dimension]
+            joins.append(join(fact_table, f"{prefix}_{_FACT_FK[dimension]}", dimension, key_column))
+            chosen = predicate_columns[(predicate_offset + position) % len(predicate_columns)]
+            if position == 0:
+                predicates.append(eq(dimension, chosen))
+            elif position == 1:
+                predicates.append(in_list(dimension, chosen, 3))
+            else:
+                predicates.append(eq(dimension, chosen))
+            payload[dimension] = (chosen,)
+        # Every third family adds a fact-side range filter, every fifth a
+        # selective fact filter, broadening the candidate-index space.
+        if index % 3 == 0:
+            predicates.append(between(fact_table, f"{prefix}_{measures[0]}", 0.1, 0.25))
+        if index % 5 == 0:
+            predicates.append(top_fraction(fact_table, f"{prefix}_net_profit", 0.02, 0.08))
+        templates.append(QueryTemplate(
+            template_id=f"tpcds_q{index}",
+            tables=(fact_table,) + tuple(dimensions),
+            joins=tuple(joins),
+            payload=payload,
+            predicates=tuple(predicates),
+            description=f"TPC-DS family {index}: {fact_table} x {', '.join(dimensions)}",
+        ))
+        predicate_offset += 1
+    return templates
+
+
+def build_benchmark() -> Benchmark:
+    return Benchmark(
+        name="tpcds",
+        schema=build_schema(),
+        table_spec_builder=build_table_specs,
+        templates=build_templates(),
+        default_scale_factor=10.0,
+        description="TPC-DS snowflake subset with 99 generated query-template families",
+    )

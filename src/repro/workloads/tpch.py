@@ -1,0 +1,434 @@
+"""TPC-H benchmark: schema, data specification and 22 query-template families.
+
+The schema and row counts follow the TPC-H specification (SF 1 row counts,
+scaled linearly).  Templates reproduce the predicate/join/payload *structure*
+of Q1-Q22 — which columns are filtered, joined and projected — because that is
+what drives index selection; aggregation expressions are not needed by the
+simulator and are omitted.
+
+The same module also builds the **TPC-H Skew** variant used by the paper
+(zipfian factor 4): :func:`build_table_specs` takes a ``skew`` parameter that
+skews foreign-key reference patterns and several attribute columns, breaking
+the optimiser's uniformity assumption while keeping the schema identical.
+"""
+
+from __future__ import annotations
+
+from repro.engine.datagen import (
+    Categorical,
+    DateRange,
+    Derived,
+    ForeignKeyRef,
+    SequentialKey,
+    TableSpec,
+    UniformFloat,
+    UniformInt,
+    ZipfianInt,
+    scale_rows,
+)
+from repro.engine.schema import Column, ColumnType, ForeignKey, Schema, Table
+
+from .base import Benchmark
+from .templates import (
+    QueryTemplate,
+    between,
+    bottom_fraction,
+    eq,
+    in_list,
+    join,
+    top_fraction,
+)
+
+# --------------------------------------------------------------------- #
+# schema
+# --------------------------------------------------------------------- #
+#: SF 1 row counts from the TPC-H specification.
+BASE_ROWS = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    "lineitem": 6_000_000,
+}
+
+
+def build_schema() -> Schema:
+    integer = ColumnType.INTEGER
+    decimal = ColumnType.DECIMAL
+    date = ColumnType.DATE
+    char = ColumnType.CHAR
+    tables = [
+        Table("region", [Column("r_regionkey", integer), Column("r_name", char)],
+              primary_key=("r_regionkey",)),
+        Table("nation", [Column("n_nationkey", integer), Column("n_name", char),
+                         Column("n_regionkey", integer)],
+              primary_key=("n_nationkey",)),
+        Table("supplier", [Column("s_suppkey", integer), Column("s_name", char),
+                           Column("s_nationkey", integer), Column("s_acctbal", decimal)],
+              primary_key=("s_suppkey",)),
+        Table("customer", [Column("c_custkey", integer), Column("c_name", char),
+                           Column("c_nationkey", integer), Column("c_mktsegment", char),
+                           Column("c_acctbal", decimal)],
+              primary_key=("c_custkey",)),
+        Table("part", [Column("p_partkey", integer), Column("p_name", ColumnType.VARCHAR),
+                       Column("p_brand", char), Column("p_type", char),
+                       Column("p_size", integer), Column("p_container", char),
+                       Column("p_retailprice", decimal)],
+              primary_key=("p_partkey",)),
+        Table("partsupp", [Column("ps_partkey", integer), Column("ps_suppkey", integer),
+                           Column("ps_availqty", integer), Column("ps_supplycost", decimal)],
+              primary_key=("ps_partkey", "ps_suppkey")),
+        Table("orders", [Column("o_orderkey", integer), Column("o_custkey", integer),
+                         Column("o_orderstatus", char), Column("o_totalprice", decimal),
+                         Column("o_orderdate", date), Column("o_orderpriority", char),
+                         Column("o_shippriority", integer)],
+              primary_key=("o_orderkey",)),
+        Table("lineitem", [Column("l_orderkey", integer), Column("l_partkey", integer),
+                           Column("l_suppkey", integer), Column("l_linenumber", integer),
+                           Column("l_quantity", decimal), Column("l_extendedprice", decimal),
+                           Column("l_discount", decimal), Column("l_tax", decimal),
+                           Column("l_returnflag", char), Column("l_linestatus", char),
+                           Column("l_shipdate", date), Column("l_commitdate", date),
+                           Column("l_receiptdate", date), Column("l_shipmode", char),
+                           Column("l_shipinstruct", char)],
+              primary_key=("l_orderkey", "l_linenumber")),
+    ]
+    foreign_keys = [
+        ForeignKey("nation", "n_regionkey", "region", "r_regionkey"),
+        ForeignKey("supplier", "s_nationkey", "nation", "n_nationkey"),
+        ForeignKey("customer", "c_nationkey", "nation", "n_nationkey"),
+        ForeignKey("partsupp", "ps_partkey", "part", "p_partkey"),
+        ForeignKey("partsupp", "ps_suppkey", "supplier", "s_suppkey"),
+        ForeignKey("orders", "o_custkey", "customer", "c_custkey"),
+        ForeignKey("lineitem", "l_orderkey", "orders", "o_orderkey"),
+        ForeignKey("lineitem", "l_partkey", "part", "p_partkey"),
+        ForeignKey("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+    ]
+    return Schema(name="tpch", tables=tables, foreign_keys=foreign_keys)
+
+
+# --------------------------------------------------------------------- #
+# data specification
+# --------------------------------------------------------------------- #
+def build_table_specs(scale_factor: float, skew: float = 0.0) -> list[TableSpec]:
+    """Per-table generators for a given scale factor.
+
+    ``skew`` = 0 reproduces uniform TPC-H; the paper's TPC-H Skew benchmark
+    uses a zipfian factor of 4 applied to foreign-key reference patterns and
+    several attribute columns.
+    """
+    rows = {name: scale_rows(count, scale_factor) for name, count in BASE_ROWS.items()}
+    # Small dimension tables are never scaled below their spec sizes.
+    rows["region"], rows["nation"] = 5, 25
+
+    def attribute(n_distinct: int, low: int = 0) -> object:
+        """A low-cardinality attribute column, skewed when ``skew`` > 0."""
+        if skew > 0:
+            return ZipfianInt(low=low, n_distinct=n_distinct, skew=skew)
+        return UniformInt(low=low, high=low + n_distinct - 1)
+
+    def reference(parent: str) -> ForeignKeyRef:
+        # Foreign-key reference skew is capped: the headline zipfian factor
+        # (4 in TPC-H Skew) applies to attribute columns, while reference
+        # patterns get a moderate skew.  An uncapped factor-4 zipfian over
+        # millions of parent keys would concentrate virtually every child row
+        # on a single parent and degenerate every join into a cross product,
+        # which is neither what the Microsoft skew generator produces nor
+        # analytically meaningful.
+        return ForeignKeyRef(parent_cardinality=rows[parent], skew=min(skew, 1.2))
+
+    specs = [
+        TableSpec("region", rows["region"], {
+            "r_regionkey": SequentialKey(start=0),
+            "r_name": UniformInt(0, 4),
+        }),
+        TableSpec("nation", rows["nation"], {
+            "n_nationkey": SequentialKey(start=0),
+            "n_name": SequentialKey(start=0),
+            "n_regionkey": UniformInt(0, 4),
+        }),
+        TableSpec("supplier", rows["supplier"], {
+            "s_suppkey": SequentialKey(),
+            "s_name": SequentialKey(),
+            "s_nationkey": UniformInt(0, 24),
+            "s_acctbal": UniformFloat(-999.0, 9999.0),
+        }),
+        TableSpec("customer", rows["customer"], {
+            "c_custkey": SequentialKey(),
+            "c_name": SequentialKey(),
+            "c_nationkey": attribute(25),
+            "c_mktsegment": attribute(5),
+            "c_acctbal": UniformFloat(-999.0, 9999.0),
+        }),
+        TableSpec("part", rows["part"], {
+            "p_partkey": SequentialKey(),
+            "p_name": SequentialKey(),
+            "p_brand": attribute(25),
+            "p_type": attribute(150),
+            "p_size": attribute(50, low=1),
+            "p_container": attribute(40),
+            "p_retailprice": UniformFloat(900.0, 2100.0),
+        }),
+        TableSpec("partsupp", rows["partsupp"], {
+            "ps_partkey": reference("part"),
+            "ps_suppkey": reference("supplier"),
+            "ps_availqty": UniformInt(1, 9999),
+            "ps_supplycost": UniformFloat(1.0, 1000.0),
+        }),
+        TableSpec("orders", rows["orders"], {
+            "o_orderkey": SequentialKey(),
+            "o_custkey": reference("customer"),
+            "o_orderstatus": attribute(3),
+            "o_totalprice": UniformFloat(800.0, 450_000.0),
+            "o_orderdate": DateRange(start_day=0, n_days=2406),
+            "o_orderpriority": attribute(5),
+            "o_shippriority": UniformInt(0, 0),
+        }),
+        TableSpec("lineitem", rows["lineitem"], {
+            "l_orderkey": reference("orders"),
+            "l_partkey": reference("part"),
+            "l_suppkey": reference("supplier"),
+            "l_linenumber": UniformInt(1, 7),
+            "l_quantity": attribute(50, low=1),
+            "l_extendedprice": UniformFloat(900.0, 105_000.0),
+            "l_discount": UniformInt(0, 10),
+            "l_tax": UniformInt(0, 8),
+            "l_returnflag": attribute(3),
+            "l_linestatus": attribute(2),
+            "l_shipdate": DateRange(start_day=0, n_days=2526),
+            # Commit and receipt dates are correlated with the ship date,
+            # violating the AVI assumption on multi-date predicates.
+            "l_commitdate": Derived("l_shipdate", noise=30),
+            "l_receiptdate": Derived("l_shipdate", offset=15, noise=15),
+            "l_shipmode": attribute(7),
+            "l_shipinstruct": attribute(4),
+        }),
+    ]
+    return specs
+
+
+# --------------------------------------------------------------------- #
+# query templates (Q1-Q22 structural analogues)
+# --------------------------------------------------------------------- #
+def build_templates() -> list[QueryTemplate]:
+    lineitem_measures = ("l_quantity", "l_extendedprice", "l_discount", "l_tax")
+    templates = [
+        QueryTemplate(
+            "tpch_q1", ("lineitem",),
+            payload={"lineitem": lineitem_measures + ("l_returnflag", "l_linestatus")},
+            predicates=(bottom_fraction("lineitem", "l_shipdate", 0.90, 0.99),),
+            description="Pricing summary report (large scan, weak filter)",
+        ),
+        QueryTemplate(
+            "tpch_q2", ("part", "partsupp", "supplier", "nation", "region"),
+            joins=(join("partsupp", "ps_partkey", "part", "p_partkey"),
+                   join("partsupp", "ps_suppkey", "supplier", "s_suppkey"),
+                   join("supplier", "s_nationkey", "nation", "n_nationkey"),
+                   join("nation", "n_regionkey", "region", "r_regionkey")),
+            payload={"supplier": ("s_acctbal", "s_name"), "part": ("p_partkey",),
+                     "partsupp": ("ps_supplycost",)},
+            predicates=(eq("part", "p_size"), eq("part", "p_type"), eq("region", "r_name")),
+            description="Minimum cost supplier",
+        ),
+        QueryTemplate(
+            "tpch_q3", ("customer", "orders", "lineitem"),
+            joins=(join("customer", "c_custkey", "orders", "o_custkey"),
+                   join("lineitem", "l_orderkey", "orders", "o_orderkey")),
+            payload={"lineitem": ("l_orderkey", "l_extendedprice", "l_discount"),
+                     "orders": ("o_orderdate", "o_shippriority")},
+            predicates=(eq("customer", "c_mktsegment"),
+                        bottom_fraction("orders", "o_orderdate", 0.45, 0.55),
+                        top_fraction("lineitem", "l_shipdate", 0.45, 0.55)),
+            description="Shipping priority",
+        ),
+        QueryTemplate(
+            "tpch_q4", ("orders", "lineitem"),
+            joins=(join("lineitem", "l_orderkey", "orders", "o_orderkey"),),
+            payload={"orders": ("o_orderpriority",)},
+            predicates=(between("orders", "o_orderdate", 0.03, 0.05),),
+            description="Order priority checking",
+        ),
+        QueryTemplate(
+            "tpch_q5", ("customer", "orders", "lineitem", "supplier", "nation", "region"),
+            joins=(join("customer", "c_custkey", "orders", "o_custkey"),
+                   join("lineitem", "l_orderkey", "orders", "o_orderkey"),
+                   join("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+                   join("supplier", "s_nationkey", "nation", "n_nationkey"),
+                   join("nation", "n_regionkey", "region", "r_regionkey")),
+            payload={"nation": ("n_name",), "lineitem": ("l_extendedprice", "l_discount")},
+            predicates=(eq("region", "r_name"), between("orders", "o_orderdate", 0.14, 0.16)),
+            description="Local supplier volume (index-nested-loop regression risk)",
+        ),
+        QueryTemplate(
+            "tpch_q6", ("lineitem",),
+            payload={"lineitem": ("l_extendedprice", "l_discount")},
+            predicates=(between("lineitem", "l_shipdate", 0.14, 0.16),
+                        between("lineitem", "l_discount", 0.08, 0.12),
+                        bottom_fraction("lineitem", "l_quantity", 0.45, 0.50)),
+            description="Revenue change forecast (highly selective conjunct)",
+        ),
+        QueryTemplate(
+            "tpch_q7", ("supplier", "lineitem", "orders", "customer", "nation"),
+            joins=(join("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+                   join("lineitem", "l_orderkey", "orders", "o_orderkey"),
+                   join("orders", "o_custkey", "customer", "c_custkey"),
+                   join("supplier", "s_nationkey", "nation", "n_nationkey")),
+            payload={"nation": ("n_name",), "lineitem": ("l_shipdate", "l_extendedprice", "l_discount")},
+            predicates=(in_list("nation", "n_name", 2),
+                        top_fraction("lineitem", "l_shipdate", 0.28, 0.32)),
+            description="Volume shipping",
+        ),
+        QueryTemplate(
+            "tpch_q8", ("part", "lineitem", "orders", "customer", "nation", "region"),
+            joins=(join("lineitem", "l_partkey", "part", "p_partkey"),
+                   join("lineitem", "l_orderkey", "orders", "o_orderkey"),
+                   join("orders", "o_custkey", "customer", "c_custkey"),
+                   join("customer", "c_nationkey", "nation", "n_nationkey"),
+                   join("nation", "n_regionkey", "region", "r_regionkey")),
+            payload={"orders": ("o_orderdate",), "lineitem": ("l_extendedprice", "l_discount")},
+            predicates=(eq("region", "r_name"), eq("part", "p_type"),
+                        between("orders", "o_orderdate", 0.28, 0.32)),
+            description="National market share",
+        ),
+        QueryTemplate(
+            "tpch_q9", ("part", "supplier", "lineitem", "partsupp", "orders", "nation"),
+            joins=(join("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+                   join("lineitem", "l_partkey", "part", "p_partkey"),
+                   join("partsupp", "ps_partkey", "part", "p_partkey"),
+                   join("lineitem", "l_orderkey", "orders", "o_orderkey"),
+                   join("supplier", "s_nationkey", "nation", "n_nationkey")),
+            payload={"nation": ("n_name",), "orders": ("o_orderdate",),
+                     "lineitem": ("l_extendedprice", "l_discount", "l_quantity"),
+                     "partsupp": ("ps_supplycost",)},
+            predicates=(eq("part", "p_brand"),),
+            description="Product type profit measure",
+        ),
+        QueryTemplate(
+            "tpch_q10", ("customer", "orders", "lineitem", "nation"),
+            joins=(join("orders", "o_custkey", "customer", "c_custkey"),
+                   join("lineitem", "l_orderkey", "orders", "o_orderkey"),
+                   join("customer", "c_nationkey", "nation", "n_nationkey")),
+            payload={"customer": ("c_custkey", "c_name", "c_acctbal"),
+                     "lineitem": ("l_extendedprice", "l_discount"), "nation": ("n_name",)},
+            predicates=(between("orders", "o_orderdate", 0.08, 0.12),
+                        eq("lineitem", "l_returnflag")),
+            description="Returned item reporting",
+        ),
+        QueryTemplate(
+            "tpch_q11", ("partsupp", "supplier", "nation"),
+            joins=(join("partsupp", "ps_suppkey", "supplier", "s_suppkey"),
+                   join("supplier", "s_nationkey", "nation", "n_nationkey")),
+            payload={"partsupp": ("ps_partkey", "ps_supplycost", "ps_availqty")},
+            predicates=(eq("nation", "n_name"),),
+            description="Important stock identification",
+        ),
+        QueryTemplate(
+            "tpch_q12", ("orders", "lineitem"),
+            joins=(join("lineitem", "l_orderkey", "orders", "o_orderkey"),),
+            payload={"lineitem": ("l_shipmode",), "orders": ("o_orderpriority",)},
+            predicates=(in_list("lineitem", "l_shipmode", 2),
+                        between("lineitem", "l_receiptdate", 0.14, 0.16)),
+            description="Shipping modes and order priority",
+        ),
+        QueryTemplate(
+            "tpch_q13", ("customer", "orders"),
+            joins=(join("orders", "o_custkey", "customer", "c_custkey"),),
+            payload={"customer": ("c_custkey",), "orders": ("o_orderkey",)},
+            predicates=(eq("orders", "o_orderpriority"),),
+            description="Customer distribution",
+        ),
+        QueryTemplate(
+            "tpch_q14", ("lineitem", "part"),
+            joins=(join("lineitem", "l_partkey", "part", "p_partkey"),),
+            payload={"lineitem": ("l_extendedprice", "l_discount"), "part": ("p_type",)},
+            predicates=(between("lineitem", "l_shipdate", 0.03, 0.05),),
+            description="Promotion effect",
+        ),
+        QueryTemplate(
+            "tpch_q15", ("supplier", "lineitem"),
+            joins=(join("lineitem", "l_suppkey", "supplier", "s_suppkey"),),
+            payload={"supplier": ("s_suppkey", "s_name"),
+                     "lineitem": ("l_extendedprice", "l_discount")},
+            predicates=(between("lineitem", "l_shipdate", 0.11, 0.13),),
+            description="Top supplier",
+        ),
+        QueryTemplate(
+            "tpch_q16", ("partsupp", "part"),
+            joins=(join("partsupp", "ps_partkey", "part", "p_partkey"),),
+            payload={"part": ("p_brand", "p_type", "p_size"), "partsupp": ("ps_suppkey",)},
+            predicates=(eq("part", "p_brand"), in_list("part", "p_size", 8)),
+            description="Parts/supplier relationship",
+        ),
+        QueryTemplate(
+            "tpch_q17", ("lineitem", "part"),
+            joins=(join("lineitem", "l_partkey", "part", "p_partkey"),),
+            payload={"lineitem": ("l_extendedprice", "l_quantity")},
+            predicates=(eq("part", "p_brand"), eq("part", "p_container")),
+            description="Small-quantity-order revenue",
+        ),
+        QueryTemplate(
+            "tpch_q18", ("customer", "orders", "lineitem"),
+            joins=(join("orders", "o_custkey", "customer", "c_custkey"),
+                   join("lineitem", "l_orderkey", "orders", "o_orderkey")),
+            payload={"customer": ("c_name", "c_custkey"),
+                     "orders": ("o_orderkey", "o_orderdate", "o_totalprice"),
+                     "lineitem": ("l_quantity",)},
+            predicates=(top_fraction("lineitem", "l_quantity", 0.02, 0.06),),
+            description="Large volume customer",
+        ),
+        QueryTemplate(
+            "tpch_q19", ("lineitem", "part"),
+            joins=(join("lineitem", "l_partkey", "part", "p_partkey"),),
+            payload={"lineitem": ("l_extendedprice", "l_discount")},
+            predicates=(eq("part", "p_brand"), in_list("part", "p_container", 4),
+                        between("lineitem", "l_quantity", 0.18, 0.22),
+                        in_list("lineitem", "l_shipmode", 2)),
+            description="Discounted revenue",
+        ),
+        QueryTemplate(
+            "tpch_q20", ("supplier", "nation", "partsupp", "lineitem"),
+            joins=(join("supplier", "s_nationkey", "nation", "n_nationkey"),
+                   join("partsupp", "ps_suppkey", "supplier", "s_suppkey"),
+                   join("lineitem", "l_partkey", "partsupp", "ps_partkey")),
+            payload={"supplier": ("s_name",), "partsupp": ("ps_availqty",),
+                     "lineitem": ("l_quantity",)},
+            predicates=(eq("nation", "n_name"), between("lineitem", "l_shipdate", 0.14, 0.16)),
+            description="Potential part promotion",
+        ),
+        QueryTemplate(
+            "tpch_q21", ("supplier", "lineitem", "orders", "nation"),
+            joins=(join("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+                   join("lineitem", "l_orderkey", "orders", "o_orderkey"),
+                   join("supplier", "s_nationkey", "nation", "n_nationkey")),
+            payload={"supplier": ("s_name",), "lineitem": ("l_receiptdate", "l_commitdate")},
+            predicates=(eq("orders", "o_orderstatus"), eq("nation", "n_name")),
+            description="Suppliers who kept orders waiting",
+        ),
+        QueryTemplate(
+            "tpch_q22", ("customer", "orders"),
+            joins=(join("orders", "o_custkey", "customer", "c_custkey"),),
+            payload={"customer": ("c_acctbal", "c_nationkey")},
+            predicates=(top_fraction("customer", "c_acctbal", 0.08, 0.12),
+                        in_list("customer", "c_nationkey", 7)),
+            description="Global sales opportunity (benefits from an index on orders.o_custkey)",
+        ),
+    ]
+    return templates
+
+
+def build_benchmark(skew: float = 0.0, name: str = "tpch") -> Benchmark:
+    """Assemble the TPC-H (or TPC-H Skew) benchmark object."""
+    return Benchmark(
+        name=name,
+        schema=build_schema(),
+        table_spec_builder=lambda scale_factor: build_table_specs(scale_factor, skew=skew),
+        templates=build_templates(),
+        default_scale_factor=10.0,
+        description=(
+            "TPC-H decision-support benchmark"
+            + (f" with zipfian skew factor {skew}" if skew else " (uniform data)")
+        ),
+    )

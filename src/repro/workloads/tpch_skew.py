@@ -1,0 +1,23 @@
+"""TPC-H Skew: the Microsoft skewed TPC-H variant used by the paper.
+
+Identical schema and query templates to TPC-H; the data generators apply a
+zipfian factor (the paper uses 4) to foreign-key reference patterns and
+low-cardinality attribute columns.  The resulting heavy hitters make the
+optimiser's uniformity assumption — and therefore the what-if-driven
+PDTool's recommendations — unreliable, which is the setting in which the
+bandit's observation-driven search shines (Figures 2(c), 4(c), 6(c),
+Tables I and II).
+"""
+
+from __future__ import annotations
+
+from .base import Benchmark
+from .tpch import build_benchmark
+
+#: Zipfian factor used in the paper's TPC-H Skew experiments.
+DEFAULT_SKEW_FACTOR = 4.0
+
+
+def build_skewed_benchmark(skew: float = DEFAULT_SKEW_FACTOR) -> Benchmark:
+    """TPC-H Skew benchmark with the given zipfian factor."""
+    return build_benchmark(skew=skew, name="tpch_skew")

@@ -1,0 +1,148 @@
+"""Tests for workload-driven arm generation and context engineering."""
+
+import numpy as np
+import pytest
+
+from repro.core import Arm, ArmGenerator, ContextBuilder, MabConfig
+from repro.engine import IndexDefinition
+from tests.conftest import make_join_query, make_sales_query
+
+
+class TestArmGeneration:
+    def test_arms_only_for_tables_with_predicates(self):
+        generator = ArmGenerator(MabConfig())
+        arms = generator.arms_for_query(make_sales_query())
+        assert arms
+        assert all(arm.table == "sales" for arm in arms)
+
+    def test_single_and_multi_column_permutations(self):
+        generator = ArmGenerator(MabConfig())
+        arms = generator.generate([make_sales_query()])
+        key_sets = {arm.index.key_columns for arm in arms.values()}
+        assert ("day",) in key_sets
+        assert ("channel",) in key_sets
+        assert ("day", "channel") in key_sets
+        assert ("channel", "day") in key_sets
+
+    def test_covering_variants_included(self):
+        generator = ArmGenerator(MabConfig())
+        arms = generator.generate([make_sales_query()])
+        covering = [arm for arm in arms.values() if arm.index.include_columns]
+        assert covering
+        assert any(arm.covering_for_queries for arm in covering)
+
+    def test_covering_disabled(self):
+        generator = ArmGenerator(MabConfig(include_covering_arms=False))
+        arms = generator.generate([make_sales_query()])
+        assert all(not arm.index.include_columns for arm in arms.values())
+
+    def test_join_columns_produce_arms(self):
+        generator = ArmGenerator(MabConfig())
+        arms = generator.generate([make_join_query()])
+        sales_keys = {arm.index.key_columns for arm in arms.values() if arm.table == "sales"}
+        assert any("customer_id" in key for key in sales_keys)
+
+    def test_width_cap_respected(self):
+        generator = ArmGenerator(MabConfig(max_index_width=1))
+        arms = generator.generate([make_sales_query()])
+        assert all(len(arm.index.key_columns) == 1 for arm in arms.values())
+
+    def test_per_query_table_budget_respected(self):
+        config = MabConfig(max_arms_per_query_table=5)
+        generator = ArmGenerator(config)
+        arms = generator.arms_for_query(make_sales_query())
+        assert len(arms) <= 5
+
+    def test_merge_across_queries_unions_templates(self):
+        generator = ArmGenerator(MabConfig())
+        first = make_sales_query("a#0", "template_a")
+        second = make_sales_query("b#0", "template_b")
+        arms = generator.generate([first, second])
+        single_day = arms["ix_sales_day"]
+        assert single_day.source_templates == {"template_a", "template_b"}
+
+    def test_arm_counts_scale_with_benchmark(self, tpch_benchmark, tpch_small_database):
+        """A full TPC-H round generates a rich (hundreds) but bounded arm space."""
+        rng = np.random.default_rng(0)
+        queries = [template.instantiate(tpch_small_database, rng) for template in tpch_benchmark.templates]
+        arms = ArmGenerator(MabConfig()).generate(queries)
+        assert 100 < len(arms) < 3000
+
+
+class TestContextBuilder:
+    @pytest.fixture()
+    def builder(self, tiny_schema):
+        return ContextBuilder(tiny_schema)
+
+    def test_dimension_is_columns_plus_derived(self, builder, tiny_schema):
+        n_columns = sum(len(table.columns) for table in tiny_schema.tables)
+        assert builder.dimension == n_columns + 3
+        assert builder.column_feature_count == n_columns
+
+    def test_prefix_encoding_values(self, builder, tiny_database_readonly):
+        query = make_sales_query()
+        arm = Arm(index=IndexDefinition("sales", ("day", "channel")), source_templates={"t"})
+        context = builder.build(arm, [query], tiny_database_readonly)
+        day_slot = builder.column_position("sales", "day")
+        channel_slot = builder.column_position("sales", "channel")
+        assert context[day_slot] == pytest.approx(1.0)
+        assert context[channel_slot] == pytest.approx(0.1)
+
+    def test_payload_only_column_is_zero(self, builder, tiny_database_readonly):
+        query = make_sales_query()
+        arm = Arm(index=IndexDefinition("sales", ("day", "amount")), source_templates={"t"})
+        context = builder.build(arm, [query], tiny_database_readonly)
+        amount_slot = builder.column_position("sales", "amount")
+        assert context[amount_slot] == 0.0  # amount is only a payload column
+
+    def test_non_workload_column_is_zero(self, builder, tiny_database_readonly):
+        query = make_sales_query()
+        arm = Arm(index=IndexDefinition("sales", ("product_id",)), source_templates={"t"})
+        context = builder.build(arm, [query], tiny_database_readonly)
+        slot = builder.column_position("sales", "product_id")
+        assert context[slot] == 0.0
+
+    def test_size_feature_zero_when_materialised(self, builder, tiny_database):
+        query = make_sales_query()
+        index = IndexDefinition("sales", ("day",))
+        arm = Arm(index=index, source_templates={"t"})
+        before = builder.build(arm, [query], tiny_database)
+        assert before[builder.size_feature_index] > 0
+        tiny_database.create_index(index)
+        after = builder.build(arm, [query], tiny_database)
+        assert after[builder.size_feature_index] == 0.0
+
+    def test_covering_flag(self, builder, tiny_database_readonly):
+        query = make_sales_query()
+        covering_arm = Arm(
+            index=IndexDefinition("sales", ("day", "channel"), ("amount",)),
+            source_templates={"t"},
+            covering_for_queries={query.query_id},
+        )
+        context = builder.build(covering_arm, [query], tiny_database_readonly)
+        assert context[builder.covering_feature_index] == 1.0
+
+    def test_usage_feature_increases(self, builder, tiny_database_readonly):
+        query = make_sales_query()
+        arm = Arm(index=IndexDefinition("sales", ("day",)), source_templates={"t"})
+        cold = builder.build(arm, [query], tiny_database_readonly)
+        arm.usage_rounds = 5
+        warm = builder.build(arm, [query], tiny_database_readonly)
+        assert warm[builder.usage_feature_index] > cold[builder.usage_feature_index]
+
+    def test_build_matrix_shape(self, builder, tiny_database_readonly):
+        query = make_sales_query()
+        arms = list(ArmGenerator(MabConfig()).generate([query]).values())
+        matrix = builder.build_matrix(arms, [query], tiny_database_readonly)
+        assert matrix.shape == (len(arms), builder.dimension)
+
+    def test_build_matrix_empty(self, builder, tiny_database_readonly):
+        matrix = builder.build_matrix([], [], tiny_database_readonly)
+        assert matrix.shape == (0, builder.dimension)
+
+    def test_creation_context_only_size(self, builder, tiny_database_readonly):
+        arm = Arm(index=IndexDefinition("sales", ("day",)), source_templates={"t"})
+        context = builder.creation_context(arm, tiny_database_readonly)
+        assert context[builder.size_feature_index] > 0
+        context[builder.size_feature_index] = 0.0
+        assert np.allclose(context, 0.0)

@@ -1,0 +1,199 @@
+"""Tests for the greedy oracle, reward shaping and the query store."""
+
+import pytest
+
+from repro.core import Arm, GreedyOracle, QueryStore, ScoredArm, compute_round_rewards, super_arm_reward
+from repro.engine import ConfigurationChange, ExecutionResult, IndexDefinition, TableAccessResult
+from tests.conftest import make_sales_query
+
+
+def scored(table: str, key: tuple[str, ...], score: float, size: int,
+           templates: set[str] | None = None, covering: bool = False) -> ScoredArm:
+    arm = Arm(index=IndexDefinition(table, key), source_templates=templates or {"t"})
+    if covering:
+        arm.covering_for_queries = {"q#1"}
+    return ScoredArm(arm=arm, score=score, size_bytes=size)
+
+
+class TestGreedyOracle:
+    def test_prunes_negative_scores(self):
+        result = GreedyOracle().select([scored("sales", ("day",), -1.0, 10)], None)
+        assert result.selected == []
+
+    def test_respects_memory_budget(self):
+        arms = [
+            scored("sales", ("day",), 3.0, 100),
+            scored("customers", ("region",), 2.0, 100),
+            scored("sales", ("channel",), 1.0, 100),
+        ]
+        result = GreedyOracle().select(arms, memory_budget_bytes=150)
+        assert len(result.selected) == 1
+        assert result.total_size_bytes <= 150
+
+    def test_greedy_order_by_score(self):
+        arms = [
+            scored("sales", ("day",), 1.0, 10),
+            scored("customers", ("region",), 5.0, 10),
+        ]
+        result = GreedyOracle().select(arms, None)
+        assert result.selected[0].score == 5.0
+
+    def test_same_leading_column_filtered_within_round(self):
+        arms = [
+            scored("sales", ("day", "channel"), 5.0, 10),
+            scored("sales", ("day",), 4.0, 10),
+            scored("sales", ("channel",), 3.0, 10),
+        ]
+        result = GreedyOracle().select(arms, None)
+        keys = {s.arm.index.key_columns for s in result.selected}
+        assert ("day", "channel") in keys
+        assert ("day",) not in keys  # same table and leading column as the selected arm
+        assert ("channel",) in keys
+
+    def test_covering_index_filters_other_arms_of_same_template(self):
+        covering = scored("sales", ("day",), 5.0, 10, templates={"t1"}, covering=True)
+        other_same_template = scored("sales", ("channel",), 4.0, 10, templates={"t1"})
+        other_template = scored("customers", ("region",), 3.0, 10, templates={"t2"})
+        result = GreedyOracle().select([covering, other_same_template, other_template], None)
+        ids = result.selected_index_ids
+        assert covering.index_id in ids
+        assert other_same_template.index_id not in ids
+        assert other_template.index_id in ids
+
+    def test_skips_too_large_arm_but_considers_smaller(self):
+        arms = [
+            scored("sales", ("day",), 5.0, 1000),
+            scored("customers", ("region",), 1.0, 50),
+        ]
+        result = GreedyOracle().select(arms, memory_budget_bytes=100)
+        assert [s.arm.table for s in result.selected] == ["customers"]
+
+    def test_unbudgeted_selection_takes_all_positive_diverse_arms(self):
+        arms = [
+            scored("sales", ("day",), 2.0, 10),
+            scored("customers", ("region",), 1.0, 10),
+        ]
+        result = GreedyOracle().select(arms, None)
+        assert len(result.selected) == 2
+        assert result.total_score == pytest.approx(3.0)
+
+    def test_empty_input(self):
+        result = GreedyOracle().select([], 100)
+        assert result.selected == [] and result.total_size_bytes == 0
+
+
+def execution_result_with_access(index_id, gain, full_scan=10.0, query="q#1", template="q"):
+    actual = full_scan - gain
+    return ExecutionResult(
+        query_id=query,
+        template_id=template,
+        total_seconds=actual,
+        access_results=[
+            TableAccessResult(
+                table="sales",
+                method="index_seek",
+                index_id=index_id,
+                actual_seconds=actual,
+                full_scan_seconds=full_scan,
+                true_rows=100,
+            )
+        ],
+    )
+
+
+class TestRewards:
+    def test_gain_summed_across_queries(self):
+        results = [
+            execution_result_with_access("ix_a", 4.0, query="q#1"),
+            execution_result_with_access("ix_a", 3.0, query="q#2"),
+        ]
+        rewards = compute_round_rewards(results, ConfigurationChange())
+        assert rewards.reward_for("ix_a") == pytest.approx(7.0)
+        assert rewards.used_index_ids == {"ix_a"}
+
+    def test_creation_cost_charged_once(self):
+        results = [execution_result_with_access("ix_a", 4.0)]
+        change = ConfigurationChange(creation_seconds_by_index={"ix_a": 10.0})
+        rewards = compute_round_rewards(results, change)
+        assert rewards.reward_for("ix_a") == pytest.approx(-6.0)
+
+    def test_unused_created_index_gets_pure_penalty(self):
+        change = ConfigurationChange(creation_seconds_by_index={"ix_b": 5.0})
+        rewards = compute_round_rewards([], change)
+        assert rewards.reward_for("ix_b") == pytest.approx(-5.0)
+        assert rewards.reward_for("ix_unknown") == 0.0
+
+    def test_negative_gain_regression(self):
+        results = [execution_result_with_access("ix_a", -3.0)]
+        rewards = compute_round_rewards(results, ConfigurationChange())
+        assert rewards.reward_for("ix_a") == pytest.approx(-3.0)
+
+    def test_creation_cost_weight(self):
+        change = ConfigurationChange(creation_seconds_by_index={"ix_a": 10.0})
+        rewards = compute_round_rewards([], change, creation_cost_weight=0.5)
+        assert rewards.reward_for("ix_a") == pytest.approx(-5.0)
+
+    def test_super_arm_reward_sums_played_arms(self):
+        results = [execution_result_with_access("ix_a", 4.0)]
+        change = ConfigurationChange(creation_seconds_by_index={"ix_b": 5.0})
+        rewards = compute_round_rewards(results, change)
+        assert super_arm_reward(rewards, {"ix_a", "ix_b"}) == pytest.approx(-1.0)
+
+
+class TestQueryStore:
+    def test_add_round_tracks_templates(self):
+        store = QueryStore()
+        summary = store.add_round([make_sales_query("a#1", "a"), make_sales_query("b#1", "b")], 1)
+        assert summary.new_templates == 2
+        assert summary.shift_intensity == 1.0
+        assert len(store) == 2
+
+    def test_shift_intensity_with_known_templates(self):
+        store = QueryStore()
+        store.add_round([make_sales_query("a#1", "a")], 1)
+        summary = store.add_round([make_sales_query("a#2", "a"), make_sales_query("b#1", "b")], 2)
+        assert summary.known_templates == 1
+        assert summary.new_templates == 1
+        assert summary.shift_intensity == pytest.approx(0.5)
+
+    def test_queries_of_interest_window(self):
+        store = QueryStore()
+        store.add_round([make_sales_query("a#1", "a")], 1)
+        store.add_round([make_sales_query("b#1", "b")], 5)
+        recent = store.queries_of_interest(current_round=6, window_rounds=2)
+        assert [query.template_id for query in recent] == ["b"]
+        wide = store.queries_of_interest(current_round=6, window_rounds=10)
+        assert {query.template_id for query in wide} == {"a", "b"}
+
+    def test_latest_instance_returned(self):
+        store = QueryStore()
+        store.add_round([make_sales_query("a#1", "a")], 1)
+        newest = make_sales_query("a#2", "a")
+        store.add_round([newest], 2)
+        assert store.queries_of_interest(3)[0].query_id == newest.query_id
+
+    def test_instance_history_bounded(self):
+        store = QueryStore(max_instances_per_template=2)
+        for round_number in range(1, 6):
+            store.add_round([make_sales_query(f"a#{round_number}", "a")], round_number)
+        record = store.template("a")
+        assert len(record.recent_instances) == 2
+        assert record.frequency == 5
+
+    def test_evict_stale(self):
+        store = QueryStore()
+        store.add_round([make_sales_query("a#1", "a")], 1)
+        store.add_round([make_sales_query("b#1", "b")], 10)
+        evicted = store.evict_stale(current_round=12, max_idle_rounds=5)
+        assert evicted == 1
+        assert store.known_template_ids() == {"b"}
+
+    def test_clear(self):
+        store = QueryStore()
+        store.add_round([make_sales_query()], 1)
+        store.clear()
+        assert len(store) == 0
+
+    def test_invalid_history_size(self):
+        with pytest.raises(ValueError):
+            QueryStore(max_instances_per_template=0)

@@ -1,0 +1,110 @@
+"""Unit tests for the database catalog: index DDL and the memory budget."""
+
+import pytest
+
+from repro.engine import (
+    Database,
+    DuplicateIndexError,
+    IndexDefinition,
+    MemoryBudgetExceededError,
+    UnknownIndexError,
+    UnknownTableError,
+)
+from tests.conftest import build_tiny_schema, build_tiny_specs
+
+
+class TestConstruction:
+    def test_from_specs_builds_all_tables(self, tiny_database_readonly):
+        assert set(tiny_database_readonly.table_names) == {"sales", "customers"}
+        assert tiny_database_readonly.data_size_bytes > 0
+
+    def test_missing_table_spec_raises(self):
+        with pytest.raises(UnknownTableError):
+            Database.from_specs(
+                schema=build_tiny_schema(),
+                table_specs=build_tiny_specs()[:1],  # customers missing
+                sample_rows=100,
+            )
+
+    def test_statistics_catalog_populated(self, tiny_database_readonly):
+        statistics = tiny_database_readonly.statistics
+        assert statistics.row_count("sales") == 200_000
+        assert statistics.column("sales", "channel") is not None
+
+    def test_summary(self, tiny_database_readonly):
+        summary = tiny_database_readonly.summary()
+        assert summary["schema"] == "tiny"
+        assert "sales" in summary["tables"]
+
+
+class TestIndexDDL:
+    def test_create_and_drop_index(self, tiny_database):
+        index = IndexDefinition("sales", ("day",), ("amount",))
+        creation_seconds = tiny_database.create_index(index)
+        assert creation_seconds > 0
+        assert tiny_database.has_index(index)
+        assert tiny_database.used_index_bytes == tiny_database.index_size_bytes(index)
+        drop_seconds = tiny_database.drop_index(index)
+        assert drop_seconds >= 0
+        assert not tiny_database.has_index(index)
+        assert tiny_database.used_index_bytes == 0
+
+    def test_duplicate_creation_rejected(self, tiny_database):
+        index = IndexDefinition("sales", ("day",))
+        tiny_database.create_index(index)
+        with pytest.raises(DuplicateIndexError):
+            tiny_database.create_index(index)
+
+    def test_drop_unknown_index_rejected(self, tiny_database):
+        with pytest.raises(UnknownIndexError):
+            tiny_database.drop_index(IndexDefinition("sales", ("day",)))
+
+    def test_memory_budget_enforced(self, tiny_database):
+        tiny_database.memory_budget_bytes = 1  # effectively zero
+        with pytest.raises(MemoryBudgetExceededError):
+            tiny_database.create_index(IndexDefinition("sales", ("day",)))
+
+    def test_indexes_for_table(self, tiny_database):
+        sales_index = IndexDefinition("sales", ("day",))
+        customer_index = IndexDefinition("customers", ("region",))
+        tiny_database.create_index(sales_index)
+        tiny_database.create_index(customer_index)
+        assert tiny_database.indexes_for_table("sales") == [sales_index]
+
+    def test_drop_all_indexes(self, tiny_database):
+        tiny_database.create_index(IndexDefinition("sales", ("day",)))
+        tiny_database.create_index(IndexDefinition("customers", ("region",)))
+        tiny_database.drop_all_indexes()
+        assert tiny_database.materialised_indexes == []
+
+
+class TestApplyConfiguration:
+    def test_transition_creates_and_drops(self, tiny_database):
+        first = IndexDefinition("sales", ("day",))
+        second = IndexDefinition("sales", ("channel",))
+        change = tiny_database.apply_configuration([first])
+        assert [index.index_id for index in change.created] == [first.index_id]
+        change = tiny_database.apply_configuration([second])
+        assert [index.index_id for index in change.dropped] == [first.index_id]
+        assert [index.index_id for index in change.created] == [second.index_id]
+        assert change.creation_seconds_by_index[second.index_id] > 0
+
+    def test_idempotent_configuration(self, tiny_database):
+        index = IndexDefinition("sales", ("day",))
+        tiny_database.apply_configuration([index])
+        change = tiny_database.apply_configuration([index])
+        assert change.created == [] and change.dropped == []
+        assert change.total_seconds == 0
+
+    def test_over_budget_indexes_skipped_not_raised(self, tiny_database):
+        tiny_database.memory_budget_bytes = 1
+        change = tiny_database.apply_configuration([IndexDefinition("sales", ("day",))])
+        assert change.created == []
+        assert not tiny_database.materialised_indexes
+
+    def test_fits_in_budget(self, tiny_database):
+        small = IndexDefinition("customers", ("region",))
+        assert tiny_database.fits_in_budget([small])
+        tiny_database.memory_budget_bytes = 10
+        assert not tiny_database.fits_in_budget([small])
+        assert tiny_database.available_index_bytes == 10

@@ -1,0 +1,189 @@
+"""Tests for the harness: metrics, reporting, simulation driver and experiments."""
+
+import pytest
+
+from repro.baselines import NoIndexTuner
+from repro.core import MabTuner
+from repro.harness import (
+    ExperimentSettings,
+    RoundReport,
+    RunReport,
+    SimulationOptions,
+    aggregate_rl_series,
+    build_workload_rounds,
+    convergence_series,
+    exploration_cost_summary,
+    final_round_execution_comparison,
+    format_table,
+    make_tuner,
+    run_simulation,
+    run_workload_experiment,
+    speedup_percentage,
+    speedup_summary,
+    table1_breakdown,
+    table2_database_size,
+    totals_summary,
+)
+from repro.workloads import StaticWorkload, get_benchmark
+from tests.conftest import make_sales_query
+
+
+def make_report(name="MAB", totals=(10.0, 20.0)) -> RunReport:
+    report = RunReport(tuner_name=name, benchmark_name="tiny", workload_type="static")
+    for round_number, total in enumerate(totals, start=1):
+        report.rounds.append(RoundReport(
+            round_number=round_number,
+            recommendation_seconds=1.0,
+            creation_seconds=2.0,
+            execution_seconds=total - 3.0,
+            n_queries=5,
+        ))
+    return report
+
+
+class TestMetrics:
+    def test_round_total(self):
+        round_report = RoundReport(1, recommendation_seconds=1, creation_seconds=2, execution_seconds=3)
+        assert round_report.total_seconds == 6
+
+    def test_run_aggregates(self):
+        report = make_report(totals=(10.0, 20.0))
+        assert report.total_seconds == pytest.approx(30.0)
+        assert report.total_recommendation_seconds == pytest.approx(2.0)
+        assert report.total_creation_seconds == pytest.approx(4.0)
+        assert report.exploration_cost_seconds == pytest.approx(6.0)
+        assert report.per_round_totals() == [pytest.approx(10.0), pytest.approx(20.0)]
+        assert report.final_round_execution_seconds() == pytest.approx(17.0)
+        assert report.breakdown_minutes()["total"] == pytest.approx(0.5)
+        assert report.summary()["rounds"] == 2
+
+    def test_speedup_percentage(self):
+        assert speedup_percentage(100, 75) == pytest.approx(25.0)
+        assert speedup_percentage(100, 125) == pytest.approx(-25.0)
+        assert speedup_percentage(0, 10) == 0.0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "333" in lines[2] or "333" in lines[3]
+
+    def test_convergence_and_totals(self):
+        reports = {"MAB": make_report("MAB"), "PDTool": make_report("PDTool", totals=(12.0, 24.0))}
+        series = convergence_series(reports)
+        assert "round" in series and "MAB" in series and "PDTool" in series
+        totals = totals_summary(reports)
+        assert "tuner" in totals
+        assert "MAB" in totals
+
+    def test_speedup_summary(self):
+        reports = {"MAB": make_report("MAB", (10.0, 10.0)), "PDTool": make_report("PDTool", (20.0, 20.0))}
+        text = speedup_summary(reports)
+        assert "50.0%" in text
+        assert "unavailable" in speedup_summary({"MAB": reports["MAB"]})
+
+    def test_table_formatters(self):
+        reports = {"PDTool": make_report("PDTool"), "MAB": make_report("MAB")}
+        table1 = table1_breakdown({"static": {"tiny": reports}})
+        assert "static" in table1 and "tiny" in table1
+        table2 = table2_database_size({1.0: reports, 10.0: reports})
+        assert "scale_factor" in table2
+        assert "exploration_cost_s" in exploration_cost_summary(reports)
+        assert "final_round_execution_s" in final_round_execution_comparison(reports)
+
+
+class TestSimulation:
+    @pytest.fixture()
+    def ssb_setup(self, ssb_benchmark):
+        database = ssb_benchmark.create_database(scale_factor=0.1, sample_rows=200, seed=4)
+        rounds = StaticWorkload(database, ssb_benchmark.templates[:4], n_rounds=3, seed=1).materialise()
+        return database, rounds
+
+    def test_noindex_run_accounting(self, ssb_setup):
+        database, rounds = ssb_setup
+        trace = run_simulation(database, NoIndexTuner(), rounds, SimulationOptions(benchmark_name="ssb"))
+        report = trace.report
+        assert report.n_rounds == 3
+        assert report.total_creation_seconds == 0.0
+        assert report.total_recommendation_seconds == 0.0
+        assert report.total_execution_seconds > 0
+        for round_report in report.rounds:
+            assert round_report.configuration_size == 0
+            assert round_report.n_queries == 4
+
+    def test_mab_run_creates_indexes_and_keeps_results(self, ssb_setup):
+        database, rounds = ssb_setup
+        options = SimulationOptions(benchmark_name="ssb", keep_results=True)
+        trace = run_simulation(database, MabTuner(database), rounds, options)
+        assert trace.report.total_creation_seconds > 0
+        assert len(trace.results_by_round) == 3
+        assert trace.report.rounds[-1].configuration_size >= 1
+
+    def test_round_totals_are_component_sums(self, ssb_setup):
+        database, rounds = ssb_setup
+        trace = run_simulation(database, MabTuner(database), rounds)
+        for round_report in trace.report.rounds:
+            assert round_report.total_seconds == pytest.approx(
+                round_report.recommendation_seconds
+                + round_report.creation_seconds
+                + round_report.execution_seconds
+            )
+
+    def test_on_round_callback_invoked(self, ssb_setup):
+        database, rounds = ssb_setup
+        seen = []
+        options = SimulationOptions(on_round=lambda report, results: seen.append(report.round_number))
+        run_simulation(database, NoIndexTuner(), rounds, options)
+        assert seen == [1, 2, 3]
+
+
+class TestExperiments:
+    def test_make_tuner_names(self, tiny_database):
+        for name, expected in [
+            ("NoIndex", "NoIndex"),
+            ("MAB", "MAB"),
+            ("PDTool", "PDTool"),
+            ("DDQN", "DDQN"),
+            ("DDQN_SC", "DDQN_SC"),
+        ]:
+            assert make_tuner(name, tiny_database).name == expected
+        with pytest.raises(KeyError):
+            make_tuner("unknown", tiny_database)
+
+    def test_settings_quick_and_overrides(self):
+        settings = ExperimentSettings.quick()
+        assert settings.static_rounds < ExperimentSettings().static_rounds
+        assert settings.with_overrides(static_rounds=3).static_rounds == 3
+
+    def test_build_workload_rounds_types(self):
+        benchmark = get_benchmark("ssb")
+        settings = ExperimentSettings.quick().with_overrides(sample_rows=200, scale_factor=0.1)
+        database = benchmark.create_database(scale_factor=0.1, sample_rows=200)
+        static = build_workload_rounds(benchmark, database, "static", settings)
+        assert len(static) == settings.static_rounds
+        shifting = build_workload_rounds(benchmark, database, "shifting", settings)
+        assert len(shifting) == settings.shifting_groups * settings.shifting_rounds_per_group
+        random_rounds = build_workload_rounds(benchmark, database, "random", settings)
+        assert len(random_rounds) == settings.random_rounds
+        with pytest.raises(KeyError):
+            build_workload_rounds(benchmark, database, "bogus", settings)
+
+    def test_small_end_to_end_experiment(self):
+        settings = ExperimentSettings.quick().with_overrides(
+            scale_factor=1.0, sample_rows=300, static_rounds=4
+        )
+        reports = run_workload_experiment("ssb", "static", ("NoIndex", "MAB"), settings)
+        assert set(reports) == {"NoIndex", "MAB"}
+        assert reports["NoIndex"].n_rounds == 4
+        # the bandit must never be slower than NoIndex by execution alone in
+        # the final round once it has had a few rounds to learn
+        assert reports["MAB"].rounds[-1].execution_seconds <= reports["NoIndex"].rounds[-1].execution_seconds * 1.1
+
+    def test_aggregate_rl_series(self):
+        reports = [make_report(totals=(10.0, 20.0)), make_report(totals=(20.0, 30.0))]
+        series = aggregate_rl_series(reports)
+        assert series["mean"] == [pytest.approx(15.0), pytest.approx(25.0)]
+        assert len(series["median"]) == 2
+        assert aggregate_rl_series([])["mean"] == []
