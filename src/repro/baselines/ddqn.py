@@ -112,9 +112,15 @@ class DDQNTuner(Tuner):
         del training_queries  # the RL agent, like the bandit, is online-only
         queries_of_interest = self.query_store.queries_of_interest(round_number, window_rounds=2)
         if not queries_of_interest:
+            # Same contract as the MAB tuner: with no queries of interest,
+            # retain the current configuration instead of dropping every
+            # materialised index.
             self._pending_actions = []
             self._pending_candidate_features = None
-            return Recommendation(configuration=[], recommendation_seconds=0.0)
+            return Recommendation(
+                configuration=list(self.database.materialised_indexes),
+                recommendation_seconds=0.0,
+            )
 
         arms = list(self.arm_generator.generate(queries_of_interest).values())
         contexts = self.context_builder.build_matrix(arms, queries_of_interest, self.database)

@@ -44,6 +44,10 @@ class ContextBuilder:
             for column in table.columns:
                 self._column_positions[(table.name, column.name)] = len(self._column_positions)
         self._n_columns = len(self._column_positions)
+        #: Per-arm static part-1 encoding: (column, slot, 10^-position) for
+        #: every key column with a schema slot.  An arm's key columns never
+        #: change, so this is computed once per arm id across all rounds.
+        self._key_slots: dict[str, tuple[tuple[str, int, float], ...]] = {}
 
     # ------------------------------------------------------------------ #
     # dimensions
@@ -76,6 +80,23 @@ class ContextBuilder:
     def column_position(self, table: str, column: str) -> int | None:
         return self._column_positions.get((table, column))
 
+    def _arm_key_slots(self, arm: Arm) -> tuple[tuple[str, int, float], ...]:
+        slots = self._key_slots.get(arm.index_id)
+        if slots is None:
+            slots = tuple(
+                (column, slot, 10.0 ** (-position))
+                for position, column in enumerate(arm.index.key_columns)
+                if (slot := self.column_position(arm.table, column)) is not None
+            )
+            self._key_slots[arm.index_id] = slots
+        return slots
+
+    @staticmethod
+    def _hypothetical_relative_size(arm: Arm, database: Database) -> float:
+        # Both database calls are O(1) cached lookups (invalidated by
+        # Database.refresh_statistics), so no builder-level cache is needed.
+        return database.index_size_bytes(arm.index) / max(1, database.data_size_bytes)
+
     def creation_context(self, arm: Arm, database: Database) -> np.ndarray:
         """Context used for the creation-cost observation of a newly built arm.
 
@@ -85,8 +106,7 @@ class ContextBuilder:
         the column-prefix weights clean estimators of *query-time* benefit.
         """
         context = np.zeros(self.dimension)
-        relative_size = database.index_size_bytes(arm.index) / max(1, database.data_size_bytes)
-        context[self.size_feature_index] = relative_size
+        context[self.size_feature_index] = self._hypothetical_relative_size(arm, database)
         return context
 
     # ------------------------------------------------------------------ #
@@ -115,13 +135,10 @@ class ContextBuilder:
         context = np.zeros(self.dimension)
         workload_columns = predicate_columns.get(arm.table, set())
 
-        # Part 1: prefix encoding over the arm's key columns.
-        for position, column in enumerate(arm.index.key_columns):
-            if column not in workload_columns:
-                continue
-            slot = self.column_position(arm.table, column)
-            if slot is not None:
-                context[slot] = 10.0 ** (-position)
+        # Part 1: prefix encoding over the arm's key columns (cached slots).
+        for column, slot, value in self._arm_key_slots(arm):
+            if column in workload_columns:
+                context[slot] = value
 
         # Part 2: derived features.
         derived_base = self._n_columns
@@ -129,7 +146,7 @@ class ContextBuilder:
         if database.has_index(arm.index):
             relative_size = 0.0
         else:
-            relative_size = database.index_size_bytes(arm.index) / max(1, database.data_size_bytes)
+            relative_size = self._hypothetical_relative_size(arm, database)
         usage = math.log1p(arm.usage_rounds)
         context[derived_base + 0] = is_covering
         context[derived_base + 1] = relative_size

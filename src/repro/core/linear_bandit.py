@@ -14,6 +14,16 @@ Scores are upper confidence bounds::
 where ``V`` is the regularised scatter matrix of the contexts of previously
 played arms.  The second term boosts arms whose contexts lie in underexplored
 directions of context space.
+
+``V^{-1}`` is maintained *incrementally*: a rank-1 observation applies the
+Sherman–Morrison identity and a batch of ``k`` observations applies the
+Woodbury identity (one ``k x k`` solve), so the steady-state
+``recommend -> observe`` loop never pays the ``O(d^3)`` cost of
+``np.linalg.inv``.  A full re-inversion still happens (a) lazily after
+:meth:`forget`, whose blend towards the prior is not low-rank, and (b) every
+``refresh_interval`` observations as numerical hygiene against drift of the
+incremental updates.  :attr:`inversion_count` counts the full inversions so
+tests can pin the steady-state behaviour.
 """
 
 from __future__ import annotations
@@ -24,14 +34,26 @@ import numpy as np
 class C2UCB:
     """Contextual combinatorial UCB with a shared linear reward model."""
 
-    def __init__(self, dimension: int, regularisation: float = 1.0, seed: int = 17):
+    def __init__(
+        self,
+        dimension: int,
+        regularisation: float = 1.0,
+        seed: int = 17,
+        refresh_interval: int = 512,
+    ):
         if dimension <= 0:
             raise ValueError("dimension must be positive")
         if regularisation <= 0:
             raise ValueError("regularisation must be positive")
+        if refresh_interval < 1:
+            raise ValueError("refresh_interval must be at least 1")
         self.dimension = dimension
         self.regularisation = regularisation
+        self.refresh_interval = refresh_interval
         self._rng = np.random.default_rng(seed)
+        #: Number of full ``np.linalg.inv`` calls performed so far (hygiene
+        #: refreshes and post-``forget`` recoveries; never the steady state).
+        self.inversion_count = 0
         self.reset()
 
     # ------------------------------------------------------------------ #
@@ -41,7 +63,11 @@ class C2UCB:
         """Reinitialise ``V = lambda * I`` and ``b = 0`` (line 2 of Algorithm 1)."""
         self._v = self.regularisation * np.eye(self.dimension)
         self._b = np.zeros(self.dimension)
-        self._v_inverse: np.ndarray | None = None
+        # The inverse of a scaled identity is known in closed form — no
+        # np.linalg.inv needed to start.
+        self._v_inverse: np.ndarray | None = np.eye(self.dimension) / self.regularisation
+        self._theta: np.ndarray | None = None
+        self._observations_since_refresh = 0
         self.rounds_observed = 0
         self.observations = 0
 
@@ -55,14 +81,26 @@ class C2UCB:
         """A copy of the current response vector ``b``."""
         return self._b.copy()
 
+    def _full_reinversion(self) -> np.ndarray:
+        """Recompute ``V^{-1}`` from scratch (the only ``np.linalg.inv`` site)."""
+        self.inversion_count += 1
+        inverse = np.linalg.inv(self._v)
+        # V is symmetric; keep its inverse exactly symmetric too.
+        self._v_inverse = (inverse + inverse.T) / 2.0
+        self._observations_since_refresh = 0
+        self._theta = None
+        return self._v_inverse
+
     def _inverse(self) -> np.ndarray:
         if self._v_inverse is None:
-            self._v_inverse = np.linalg.inv(self._v)
+            return self._full_reinversion()
         return self._v_inverse
 
     def theta(self) -> np.ndarray:
         """Ridge-regression estimate ``theta = V^{-1} b`` (line 5)."""
-        return self._inverse() @ self._b
+        if self._theta is None:
+            self._theta = self._inverse() @ self._b
+        return self._theta
 
     # ------------------------------------------------------------------ #
     # scoring
@@ -75,8 +113,8 @@ class C2UCB:
     def exploration_bonus(self, contexts: np.ndarray) -> np.ndarray:
         """The per-arm confidence width ``sqrt(x' V^{-1} x)``."""
         contexts = self._validate_contexts(contexts)
-        inverse = self._inverse()
-        widths = np.einsum("ij,jk,ik->i", contexts, inverse, contexts)
+        # (X @ V^{-1}) * X summed by row == diag(X V^{-1} X'), via BLAS.
+        widths = np.einsum("ij,ij->i", contexts @ self._inverse(), contexts)
         return np.sqrt(np.maximum(widths, 0.0))
 
     def upper_confidence_scores(self, contexts: np.ndarray, alpha: float) -> np.ndarray:
@@ -90,7 +128,7 @@ class C2UCB:
     # updates
     # ------------------------------------------------------------------ #
     def update(self, contexts: np.ndarray, rewards: np.ndarray) -> None:
-        """Rank-one updates for every played arm (lines 12-13 of Algorithm 1)."""
+        """Rank-k update for every played arm (lines 12-13 of Algorithm 1)."""
         contexts = self._validate_contexts(contexts)
         rewards = np.asarray(rewards, dtype=float).reshape(-1)
         if len(rewards) != len(contexts):
@@ -102,9 +140,37 @@ class C2UCB:
             return
         self._v = self._v + contexts.T @ contexts
         self._b = self._b + contexts.T @ rewards
-        self._v_inverse = None
+        self._apply_inverse_update(contexts)
+        self._theta = None
         self.rounds_observed += 1
         self.observations += len(contexts)
+
+    def _apply_inverse_update(self, contexts: np.ndarray) -> None:
+        """Fold ``k`` new contexts into the maintained inverse.
+
+        Sherman–Morrison for a single row, Woodbury (one ``k x k`` solve) for a
+        batch; falls back to a full re-inversion every ``refresh_interval``
+        observations to wash out accumulated floating-point drift.
+        """
+        if self._v_inverse is None:
+            # A forget() left the inverse dirty; rebuild lazily on next use.
+            return
+        self._observations_since_refresh += len(contexts)
+        if self._observations_since_refresh >= self.refresh_interval:
+            self._full_reinversion()
+            return
+        inverse = self._v_inverse
+        if len(contexts) == 1:
+            x = contexts[0]
+            a = inverse @ x
+            denominator = 1.0 + float(x @ a)
+            inverse = inverse - np.outer(a, a) / denominator
+        else:
+            a = inverse @ contexts.T  # d x k
+            capacitance = contexts @ a  # k x k
+            capacitance.flat[:: len(contexts) + 1] += 1.0
+            inverse = inverse - a @ np.linalg.solve(capacitance, a.T)
+        self._v_inverse = (inverse + inverse.T) / 2.0
 
     def forget(self, keep_fraction: float) -> None:
         """Shrink learned knowledge towards the prior after a workload shift.
@@ -113,6 +179,10 @@ class C2UCB:
         everything.  Intermediate values blend the learned scatter matrix and
         response vector with their initial values, which both discounts stale
         reward estimates and re-inflates the exploration bonus.
+
+        The blend is not a low-rank perturbation, so the maintained inverse is
+        invalidated and rebuilt on next use — acceptable because forgetting
+        only happens on (rare) detected workload shifts.
         """
         if not 0 <= keep_fraction <= 1:
             raise ValueError("keep_fraction must be in [0, 1]")
@@ -120,6 +190,7 @@ class C2UCB:
         self._v = keep_fraction * self._v + (1 - keep_fraction) * prior
         self._b = keep_fraction * self._b
         self._v_inverse = None
+        self._theta = None
 
     # ------------------------------------------------------------------ #
     # helpers

@@ -103,14 +103,17 @@ class QueryStore:
     def queries_of_interest(self, current_round: int, window_rounds: int = 2) -> list[Query]:
         """Latest instance of every template seen within the recency window.
 
-        ``window_rounds`` = 1 restricts the QoI to the immediately preceding
-        round; larger windows keep recently-seen templates relevant, which
-        helps under partially repeating (dynamic random) workloads.
+        The window spans the last ``window_rounds`` *completed* rounds: when
+        recommending for ``current_round``, templates last seen in rounds
+        ``current_round - window_rounds`` through ``current_round - 1`` are of
+        interest.  ``window_rounds`` = 1 restricts the QoI to the immediately
+        preceding round; larger windows keep recently-seen templates relevant,
+        which helps under partially repeating (dynamic random) workloads.
         """
         horizon = current_round - window_rounds
         queries: list[Query] = []
         for record in self._templates.values():
-            if record.last_seen_round <= horizon:
+            if record.last_seen_round < horizon:
                 continue
             instance = record.latest_instance()
             if instance is not None:

@@ -84,9 +84,14 @@ class MabTuner(Tuner):
             round_number, window_rounds=self.config.qoi_window_rounds
         )
         if not queries_of_interest:
-            # Cold start: no observations yet, keep the empty configuration.
+            # No queries of interest — either a cold start (nothing
+            # materialised yet) or a store that went empty mid-run (e.g. after
+            # eviction).  Retain the current configuration rather than
+            # returning [], which would make ``apply_configuration`` drop
+            # every materialised index for no reason.
+            self._pending_selection = []
             return Recommendation(
-                configuration=[],
+                configuration=list(self.database.materialised_indexes),
                 recommendation_seconds=time.perf_counter() - started,
             )
 
@@ -107,8 +112,9 @@ class MabTuner(Tuner):
         selection = self.oracle.select(scored_arms, self.database.memory_budget_bytes)
 
         self._pending_selection = []
+        position_by_id = {arm.index_id: position for position, arm in enumerate(arms)}
         for scored in selection.selected:
-            position = arms.index(scored.arm)
+            position = position_by_id[scored.arm.index_id]
             self._pending_selection.append((scored.arm, contexts[position]))
 
         configuration = [scored.arm.index for scored in selection.selected]

@@ -79,6 +79,13 @@ class Database:
         self.cost_model = cost_model or CostModel()
         self._indexes: dict[str, IndexDefinition] = {}
         self._index_sizes: dict[str, int] = {}
+        self._histogram_buckets = histogram_buckets
+        #: Size estimates for hypothetical (not materialised) indexes.  Sizes
+        #: derive from table statistics, so the cache lives until the next
+        #: :meth:`refresh_statistics`; the tuner asks for the same candidate
+        #: sizes every round, which made this the hottest engine call.
+        self._hypothetical_sizes: dict[str, int] = {}
+        self._data_size_bytes: int | None = None
         self._statistics = StatisticsCatalog()
         for data in self._tables.values():
             self._statistics.add(build_table_statistics(data, histogram_buckets=histogram_buckets))
@@ -140,7 +147,25 @@ class Database:
     @property
     def data_size_bytes(self) -> int:
         """Total heap size of all tables (the paper's '1x' budget reference)."""
-        return sum(data.total_bytes for data in self._tables.values())
+        if self._data_size_bytes is None:
+            self._data_size_bytes = sum(data.total_bytes for data in self._tables.values())
+        return self._data_size_bytes
+
+    def refresh_statistics(self, histogram_buckets: int | None = None) -> None:
+        """Rebuild optimiser statistics from the current table data.
+
+        Invalidates every derived cache (hypothetical index sizes, the total
+        data size) so callers holding cached estimates observe the new world.
+        """
+        if histogram_buckets is not None:
+            self._histogram_buckets = histogram_buckets
+        self._statistics = StatisticsCatalog()
+        for data in self._tables.values():
+            self._statistics.add(
+                build_table_statistics(data, histogram_buckets=self._histogram_buckets)
+            )
+        self._hypothetical_sizes.clear()
+        self._data_size_bytes = None
 
     # ------------------------------------------------------------------ #
     # index catalogue
@@ -160,10 +185,14 @@ class Database:
         return [ix for ix in self._indexes.values() if ix.table == table_name]
 
     def index_size_bytes(self, index: IndexDefinition) -> int:
-        """Size of an index (materialised or hypothetical)."""
+        """Size of an index (materialised or hypothetical, cached)."""
         if index.index_id in self._index_sizes:
             return self._index_sizes[index.index_id]
-        return index.size_bytes(self.table_data(index.table))
+        size = self._hypothetical_sizes.get(index.index_id)
+        if size is None:
+            size = index.size_bytes(self.table_data(index.table))
+            self._hypothetical_sizes[index.index_id] = size
+        return size
 
     @property
     def used_index_bytes(self) -> int:

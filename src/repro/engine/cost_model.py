@@ -97,6 +97,10 @@ class CostModel:
         """
         matching_rows = max(0, matching_rows)
         traversal = index.depth(data) * self.parameters.random_page_read_seconds
+        if matching_rows == 0:
+            # A seek that matches nothing pays the root-to-leaf traversal
+            # only — there is no leaf page to read and no row to fetch.
+            return traversal
         leaf_fraction = matching_rows / max(1, data.full_row_count)
         leaf_pages_read = max(1.0, leaf_fraction * index.leaf_pages(data))
         leaf_io = leaf_pages_read * self.parameters.page_read_seconds()

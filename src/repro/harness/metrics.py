@@ -25,11 +25,29 @@ class RoundReport:
     configuration_size: int = 0
     configuration_bytes: int = 0
     is_shift_round: bool = False
+    #: Real (wall-clock) time spent in each phase of the simulation loop, as
+    #: opposed to the model-seconds above.  These measure *our* overhead —
+    #: the paper's Table I claim is that recommendation stays negligible —
+    #: and feed the perf-tracking benchmark.
+    wall_recommend_seconds: float = 0.0
+    wall_apply_seconds: float = 0.0
+    wall_execute_seconds: float = 0.0
+    wall_observe_seconds: float = 0.0
 
     @property
     def total_seconds(self) -> float:
         """The paper's per-round total (recommendation + creation + execution)."""
         return self.recommendation_seconds + self.creation_seconds + self.execution_seconds
+
+    @property
+    def wall_total_seconds(self) -> float:
+        """Measured wall-clock time of the whole round loop body."""
+        return (
+            self.wall_recommend_seconds
+            + self.wall_apply_seconds
+            + self.wall_execute_seconds
+            + self.wall_observe_seconds
+        )
 
 
 @dataclass
@@ -71,6 +89,17 @@ class RunReport:
 
     def total_minutes(self) -> float:
         return self.total_seconds / 60.0
+
+    def wall_phase_totals(self) -> dict[str, float]:
+        """Total measured wall-clock time per simulation phase."""
+        totals = {"recommend": 0.0, "apply": 0.0, "execute": 0.0, "observe": 0.0}
+        for round_report in self.rounds:
+            totals["recommend"] += round_report.wall_recommend_seconds
+            totals["apply"] += round_report.wall_apply_seconds
+            totals["execute"] += round_report.wall_execute_seconds
+            totals["observe"] += round_report.wall_observe_seconds
+        totals["total"] = sum(totals.values())
+        return totals
 
     # ------------------------------------------------------------------ #
     # series for the convergence figures

@@ -19,6 +19,7 @@ query instances.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -93,12 +94,17 @@ def run_simulation(
         training = (
             workload_round.pdtool_training_queries if workload_round.invoke_pdtool else None
         )
+        phase_started = time.perf_counter()
         recommendation = tuner.recommend(round_number, training_queries=training)
+        after_recommend = time.perf_counter()
         change = database.apply_configuration(recommendation.configuration)
+        after_apply = time.perf_counter()
         results, execution_seconds = execute_round(
             database, planner, executor, workload_round.queries
         )
+        after_execute = time.perf_counter()
         tuner.observe(round_number, workload_round.queries, results, change)
+        after_observe = time.perf_counter()
 
         round_report = RoundReport(
             round_number=round_number,
@@ -111,6 +117,10 @@ def run_simulation(
             configuration_size=len(database.materialised_indexes),
             configuration_bytes=database.used_index_bytes,
             is_shift_round=workload_round.is_shift_round,
+            wall_recommend_seconds=after_recommend - phase_started,
+            wall_apply_seconds=after_apply - after_recommend,
+            wall_execute_seconds=after_execute - after_apply,
+            wall_observe_seconds=after_observe - after_execute,
         )
         report.rounds.append(round_report)
         if options.keep_results:

@@ -181,6 +181,25 @@ class TestDDQN:
             tuner.observe(round_number, queries, results, change)
         assert tuner.samples_seen > 0
 
+    def test_empty_qoi_retains_current_configuration(self, tiny_database):
+        """Like the MAB tuner, an empty-QoI round must not drop materialised indexes."""
+        tuner = DDQNTuner(tiny_database)
+        planner = Planner(tiny_database)
+        executor = Executor(tiny_database, noise_sigma=0.0)
+        queries = [make_sales_query(f"s#{i}", "s") for i in range(2)]
+        for round_number in range(1, 4):
+            recommendation = tuner.recommend(round_number)
+            change = tiny_database.apply_configuration(recommendation.configuration)
+            results = [executor.execute(planner.plan(query)) for query in queries]
+            tuner.observe(round_number, queries, results, change)
+        materialised = set(tiny_database.materialised_index_ids)
+        assert materialised, "rounds 1-3 should have materialised at least one index"
+        tuner.query_store.evict_stale(current_round=4, max_idle_rounds=0)
+        recommendation = tuner.recommend(4)
+        assert {index.index_id for index in recommendation.configuration} == materialised
+        change = tiny_database.apply_configuration(recommendation.configuration)
+        assert change.dropped == []
+
     def test_configuration_respects_budget(self, tiny_database):
         tiny_database.memory_budget_bytes = 4 * 1024 * 1024
         tuner = DDQNTuner(tiny_database)

@@ -91,7 +91,76 @@ class TestLearning:
         assert np.all(eigenvalues > 0)
 
 
+class TestIncrementalInverse:
+    """The maintained V^{-1} must match np.linalg.inv without ever calling it
+    in the steady state."""
+
+    def test_equivalence_over_random_update_forget_interleavings(self):
+        rng = np.random.default_rng(42)
+        dimension = 12
+        bandit = C2UCB(dimension=dimension, regularisation=0.7, refresh_interval=64)
+        for step in range(200):
+            action = rng.uniform()
+            if action < 0.15:
+                bandit.forget(float(rng.uniform(0.2, 0.9)))
+            else:
+                k = int(rng.integers(1, 5))
+                contexts = rng.normal(size=(k, dimension))
+                rewards = rng.normal(size=k)
+                bandit.update(contexts, rewards)
+            reference = np.linalg.inv(bandit.scatter_matrix)
+            assert np.allclose(bandit._inverse(), reference, atol=1e-8)
+            assert np.allclose(bandit.theta(), reference @ bandit.response_vector, atol=1e-8)
+
+    def test_no_full_inversion_in_steady_state(self):
+        rng = np.random.default_rng(5)
+        dimension = 16
+        bandit = C2UCB(dimension=dimension, refresh_interval=10_000)
+        contexts_pool = rng.normal(size=(50, dimension))
+        # Warm-up round, then measure: scoring + rank-k updates must not
+        # trigger any np.linalg.inv call.
+        bandit.update(contexts_pool[:3], rng.normal(size=3))
+        baseline = bandit.inversion_count
+        for _ in range(100):
+            bandit.upper_confidence_scores(contexts_pool, alpha=1.0)
+            k = int(rng.integers(1, 4))
+            rows = rng.integers(0, len(contexts_pool), size=k)
+            bandit.update(contexts_pool[rows], rng.normal(size=k))
+        assert bandit.inversion_count == baseline == 0
+
+    def test_periodic_refresh_triggers_full_inversion(self):
+        rng = np.random.default_rng(6)
+        bandit = C2UCB(dimension=4, refresh_interval=8)
+        for _ in range(16):
+            bandit.update(rng.normal(size=(1, 4)), rng.normal(size=1))
+        assert bandit.inversion_count >= 2
+
+    def test_forget_reinverts_lazily_not_eagerly(self):
+        rng = np.random.default_rng(7)
+        bandit = C2UCB(dimension=4, refresh_interval=10_000)
+        bandit.update(rng.normal(size=(3, 4)), rng.normal(size=3))
+        before = bandit.inversion_count
+        bandit.forget(0.5)
+        assert bandit.inversion_count == before
+        bandit.theta()
+        assert bandit.inversion_count == before + 1
+
+
 class TestForgettingAndReset:
+    def test_forget_keeps_theta_consistent_with_blended_state(self):
+        """theta() after forget must equal V_blend^{-1} b_blend exactly."""
+        rng = np.random.default_rng(11)
+        bandit = C2UCB(dimension=6, regularisation=2.0)
+        for _ in range(20):
+            bandit.update(rng.normal(size=(2, 6)), rng.normal(size=2))
+        keep = 0.35
+        expected_v = keep * bandit.scatter_matrix + (1 - keep) * 2.0 * np.eye(6)
+        expected_b = keep * bandit.response_vector
+        bandit.forget(keep)
+        assert np.allclose(bandit.scatter_matrix, expected_v)
+        assert np.allclose(bandit.response_vector, expected_b)
+        assert np.allclose(bandit.theta(), np.linalg.solve(expected_v, expected_b), atol=1e-10)
+
     def test_forget_interpolates_towards_prior(self):
         bandit = C2UCB(dimension=2, regularisation=1.0)
         bandit.update(np.array([[1.0, 0.0]]), np.array([5.0]))

@@ -165,6 +165,22 @@ class TestQueryStore:
         wide = store.queries_of_interest(current_round=6, window_rounds=10)
         assert {query.template_id for query in wide} == {"a", "b"}
 
+    def test_queries_of_interest_window_spans_completed_rounds(self):
+        """``window_rounds=N`` covers the last N *completed* rounds.
+
+        Regression test for an off-by-one: recommending for round 4 with a
+        window of 2 must include templates last seen in rounds 2 and 3, not
+        just round 3.
+        """
+        store = QueryStore()
+        store.add_round([make_sales_query("a#1", "a")], 1)
+        store.add_round([make_sales_query("b#1", "b")], 2)
+        store.add_round([make_sales_query("c#1", "c")], 3)
+        window_two = store.queries_of_interest(current_round=4, window_rounds=2)
+        assert {query.template_id for query in window_two} == {"b", "c"}
+        window_one = store.queries_of_interest(current_round=4, window_rounds=1)
+        assert {query.template_id for query in window_one} == {"c"}
+
     def test_latest_instance_returned(self):
         store = QueryStore()
         store.add_round([make_sales_query("a#1", "a")], 1)

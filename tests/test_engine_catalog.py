@@ -37,6 +37,31 @@ class TestConstruction:
         assert "sales" in summary["tables"]
 
 
+class TestRefreshStatistics:
+    def test_refresh_invalidates_size_caches_and_rebuilds_statistics(self, tiny_database):
+        from repro.engine import build_table_data
+
+        index = IndexDefinition("sales", ("day",), ("amount",))
+        # Prime every statistics-derived cache.
+        size_before = tiny_database.index_size_bytes(index)
+        data_size_before = tiny_database.data_size_bytes
+        assert tiny_database.statistics.row_count("sales") == 200_000
+
+        # The sales table doubles in logical size (same sample, new row count).
+        old = tiny_database.table_data("sales")
+        tiny_database._tables["sales"] = build_table_data(
+            old.table, old.columns, full_row_count=old.full_row_count * 2
+        )
+        # Caches still serve the pre-change estimates until a refresh...
+        assert tiny_database.index_size_bytes(index) == size_before
+        assert tiny_database.data_size_bytes == data_size_before
+
+        tiny_database.refresh_statistics()
+        assert tiny_database.statistics.row_count("sales") == 400_000
+        assert tiny_database.index_size_bytes(index) > size_before
+        assert tiny_database.data_size_bytes > data_size_before
+
+
 class TestIndexDDL:
     def test_create_and_drop_index(self, tiny_database):
         index = IndexDefinition("sales", ("day",), ("amount",))

@@ -48,6 +48,16 @@ class TestScanAndSeek:
         customers = tiny_database_readonly.table_data("customers")
         assert cost_model.full_scan_seconds(sales) > cost_model.full_scan_seconds(customers)
 
+    def test_zero_matching_rows_pays_traversal_only(self, cost_model, sales_data):
+        """A seek that matches nothing must not be charged a leaf-page read."""
+        index = IndexDefinition("sales", ("day",), ("amount",))
+        traversal = index.depth(sales_data) * cost_model.parameters.random_page_read_seconds
+        for covering in (True, False):
+            cost = cost_model.index_seek_seconds(index, sales_data, 0, covering=covering)
+            assert cost == pytest.approx(traversal)
+        one_row = cost_model.index_seek_seconds(index, sales_data, 1, covering=True)
+        assert one_row > cost_model.index_seek_seconds(index, sales_data, 0, covering=True)
+
     def test_selective_covering_seek_beats_full_scan(self, cost_model, sales_data):
         index = IndexDefinition("sales", ("day",), ("amount", "channel"))
         seek = cost_model.index_seek_seconds(index, sales_data, matching_rows=1000, covering=True)

@@ -131,6 +131,25 @@ class TestSimulation:
                 + round_report.execution_seconds
             )
 
+    def test_wall_clock_phase_instrumentation(self, ssb_setup):
+        database, rounds = ssb_setup
+        trace = run_simulation(database, MabTuner(database), rounds)
+        for round_report in trace.report.rounds:
+            assert round_report.wall_recommend_seconds >= 0.0
+            assert round_report.wall_execute_seconds > 0.0
+            assert round_report.wall_total_seconds == pytest.approx(
+                round_report.wall_recommend_seconds
+                + round_report.wall_apply_seconds
+                + round_report.wall_execute_seconds
+                + round_report.wall_observe_seconds
+            )
+        totals = trace.report.wall_phase_totals()
+        assert set(totals) == {"recommend", "apply", "execute", "observe", "total"}
+        assert totals["total"] == pytest.approx(
+            sum(r.wall_total_seconds for r in trace.report.rounds)
+        )
+        assert totals["total"] > 0.0
+
     def test_on_round_callback_invoked(self, ssb_setup):
         database, rounds = ssb_setup
         seen = []
