@@ -24,7 +24,9 @@ import time
 
 import numpy as np
 
+from repro.api import DatabaseSpec, SimulationOptions, TuningSession, create_tuner
 from repro.core.linear_bandit import C2UCB
+from repro.workloads import StaticWorkload, get_benchmark
 
 from conftest import write_result
 
@@ -141,3 +143,82 @@ def test_recommend_loop_perf(results_dir):
             f"incremental recommend loop only {speedup:.1f}x faster than the "
             f"seed implementation at 500 arms (floor {SPEEDUP_FLOOR}x)"
         )
+
+
+# --------------------------------------------------------------------- #
+# session-step overhead (the per-round cost of the public API machinery)
+# --------------------------------------------------------------------- #
+SESSION_ROUNDS = 10 if SMOKE_MODE else 40
+#: Generous ceiling on the pure session bookkeeping overhead per round.
+SESSION_NOOP_P95_CEILING_SECONDS = 0.050
+
+
+def test_session_step_overhead(results_dir):
+    """Emit a ``session_step`` timing series next to the recommend-loop numbers.
+
+    Two probes: a no-op round (NoIndex tuner, empty query batch) isolates the
+    pure :class:`TuningSession` bookkeeping overhead, and a MAB session over a
+    tiny SSB static workload gives the realistic end-to-end per-round latency
+    of the public API path.
+    """
+    spec = DatabaseSpec("ssb", scale_factor=0.1, sample_rows=200, seed=4)
+    benchmark = get_benchmark("ssb")
+    workload = StaticWorkload(
+        spec.create(), benchmark.templates[:4], n_rounds=SESSION_ROUNDS, seed=1
+    ).materialise()
+
+    series: dict[str, dict] = {}
+
+    noop_database = spec.create()
+    noop_session = TuningSession(
+        noop_database,
+        create_tuner("NoIndex", noop_database),
+        SimulationOptions(benchmark_name="ssb"),
+    )
+    latencies = []
+    for _ in range(SESSION_ROUNDS):
+        started = time.perf_counter()
+        noop_session.step([])
+        latencies.append(time.perf_counter() - started)
+    series["noop_overhead"] = summarise(np.asarray(latencies))
+
+    mab_database = spec.create()
+    mab_session = TuningSession(
+        mab_database,
+        create_tuner("MAB", mab_database),
+        SimulationOptions(benchmark_name="ssb"),
+    )
+    latencies = []
+    for workload_round in workload:
+        started = time.perf_counter()
+        mab_session.step_workload_round(workload_round)
+        latencies.append(time.perf_counter() - started)
+    series["mab_tiny_ssb"] = summarise(np.asarray(latencies))
+    series["mab_tiny_ssb"]["wall_phase_totals_s"] = {
+        phase: round(seconds, 4)
+        for phase, seconds in mab_session.report.wall_phase_totals().items()
+    }
+
+    path = results_dir / "BENCH_recommend.json"
+    payload = json.loads(path.read_text()) if path.exists() else {}
+    payload["session_step"] = {"rounds": SESSION_ROUNDS, "smoke_mode": SMOKE_MODE, **series}
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    write_result(
+        results_dir,
+        "BENCH_session_step",
+        "\n".join(
+            [
+                f"session-step overhead (rounds={SESSION_ROUNDS}, smoke={SMOKE_MODE})",
+                f"  no-op round:  p50 {series['noop_overhead']['p50_ms']:.3f} ms, "
+                f"p95 {series['noop_overhead']['p95_ms']:.3f} ms",
+                f"  MAB tiny SSB: p50 {series['mab_tiny_ssb']['p50_ms']:.3f} ms, "
+                f"p95 {series['mab_tiny_ssb']['p95_ms']:.3f} ms",
+            ]
+        ),
+    )
+
+    noop_p95 = series["noop_overhead"]["p95_ms"] / 1e3
+    assert noop_p95 < SESSION_NOOP_P95_CEILING_SECONDS, (
+        f"TuningSession bookkeeping overhead regressed: p95 {noop_p95 * 1e3:.2f} ms "
+        f"per no-op round (ceiling {SESSION_NOOP_P95_CEILING_SECONDS * 1e3:.0f} ms)"
+    )

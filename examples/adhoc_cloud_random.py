@@ -8,12 +8,20 @@ its last invocation (the common "nightly tuning" operating model), so its
 recommendation time recurs throughout the run, while the bandit keeps adapting
 continuously from observed execution statistics.
 
+The three tuners are independent sessions over identically-seeded databases,
+so ``random_experiment(..., workers=3)`` runs them in parallel processes with
+an identical merged result.
+
 Run with::
 
     python examples/adhoc_cloud_random.py
+
+``REPRO_SMOKE=1`` shrinks it for CI smoke runs.
 """
 
 from __future__ import annotations
+
+import os
 
 from repro.harness import (
     ExperimentSettings,
@@ -23,16 +31,19 @@ from repro.harness import (
     speedup_summary,
     totals_summary,
 )
-from repro.workloads import round_to_round_repeat_rate
+
+SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
 
 
 def main() -> None:
     settings = ExperimentSettings.quick().with_overrides(
-        random_rounds=12,
-        sample_rows=2000,
+        random_rounds=6 if SMOKE else 12,
+        sample_rows=500 if SMOKE else 2000,
+        scale_factor=1.0 if SMOKE else 10.0,
     )
-    print("Running a 12-round dynamic random experiment on IMDb/JOB...")
-    reports = random_experiment("imdb", settings)
+    print(f"Running a {settings.random_rounds}-round dynamic random experiment "
+          "on IMDb/JOB (3 tuners in parallel)...")
+    reports = random_experiment("imdb", settings, workers=3)
 
     print("\nPer-round totals (PDTool spikes on its invocation rounds 5 and 9):")
     print(convergence_series(reports))

@@ -1,22 +1,28 @@
-"""Tuning a custom (non-benchmark) schema with the lower-level API.
+"""Tuning a custom (non-benchmark) schema with the session API.
 
-The other examples drive the prepackaged paper benchmarks through the
-experiment harness.  This one shows how a downstream user would tune *their
-own* workload:
+The other examples drive the prepackaged paper benchmarks.  This one shows how
+a downstream user would tune *their own* workload with
+:class:`repro.api.TuningSession`, which owns the database/tuner/planner/executor
+quadruple and exposes the paper's round protocol directly:
 
 1. describe a schema and per-column data generators;
 2. materialise a simulated database with a memory budget for indexes;
 3. describe the recurring query templates of the application;
-4. run the bandit tuner round by round with the simulation driver.
+4. stream batches of queries through ``session.step(queries)`` — no
+   pre-materialised workload list, so a live query stream works the same way.
 
 Run with::
 
     python examples/custom_workload_tuning.py
+
+``REPRO_SMOKE=1`` shrinks it for CI smoke runs.
 """
 
 from __future__ import annotations
 
-from repro.core import MabConfig, MabTuner
+import os
+
+from repro.api import SimulationOptions, TuningSession, create_tuner
 from repro.engine import (
     Column,
     ColumnType,
@@ -31,9 +37,10 @@ from repro.engine import (
     UniformInt,
     ZipfianInt,
 )
-from repro.harness import SimulationOptions, run_simulation
 from repro.workloads import StaticWorkload
 from repro.workloads.templates import QueryTemplate, between, eq, join
+
+SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
 
 
 def build_schema() -> Schema:
@@ -68,7 +75,8 @@ def build_database() -> Database:
         }),
     ]
     database = Database.from_specs(
-        schema=build_schema(), table_specs=specs, sample_rows=4000, seed=11
+        schema=build_schema(), table_specs=specs,
+        sample_rows=500 if SMOKE else 4000, seed=11,
     )
     # Grant a 1x index memory budget, the paper's default operating point.
     database.memory_budget_bytes = int(1.0 * database.data_size_bytes)
@@ -107,26 +115,32 @@ def main() -> None:
     print(f"Simulated database: {database.data_size_bytes / 1e9:.1f} GB of data, "
           f"{database.memory_budget_bytes / 1e9:.1f} GB index budget.")
 
-    rounds = StaticWorkload(database, build_templates(), n_rounds=10, seed=1).materialise()
-    tuner = MabTuner(database, MabConfig())
-    trace = run_simulation(
-        database, tuner, rounds,
+    # The session streams whatever queries the application produces; here we
+    # draw them from a template generator, round by round.
+    n_rounds = 4 if SMOKE else 10
+    rounds = StaticWorkload(database, build_templates(), n_rounds=n_rounds, seed=1).materialise()
+    session = TuningSession(
+        database,
+        create_tuner("MAB", database),
         SimulationOptions(benchmark_name="clickstream", keep_results=True),
     )
+    for workload_round in rounds:
+        session.step(workload_round.queries)
+    report = session.report
 
     print("\nround  total_s  creation_s  execution_s  #indexes")
-    for round_report in trace.report.rounds:
+    for round_report in report.rounds:
         print(f"{round_report.round_number:5d}  {round_report.total_seconds:7.1f}  "
               f"{round_report.creation_seconds:10.1f}  {round_report.execution_seconds:11.1f}  "
               f"{round_report.configuration_size:8d}")
 
-    print("\nIndexes materialised after 10 rounds:")
+    print(f"\nIndexes materialised after {n_rounds} rounds:")
     for index in database.materialised_indexes:
         size_mb = database.index_size_bytes(index) / 1e6
         print(f"  {index.index_id}  ({size_mb:.0f} MB)")
 
-    first = trace.report.rounds[0].execution_seconds
-    last = trace.report.rounds[-1].execution_seconds
+    first = report.rounds[0].execution_seconds
+    last = report.rounds[-1].execution_seconds
     print(f"\nExecution time per round went from {first:.1f}s to {last:.1f}s "
           f"({100 * (first - last) / first:.0f}% faster) with no DBA involvement.")
 

@@ -8,42 +8,43 @@ detects the shifts from the workload itself (no DBA involvement), partially
 forgets what it learned, and re-converges, while PDTool must be re-invoked
 with a fresh training workload after every shift.
 
+It drives the MAB through the explicit :class:`repro.api.TuningSession` step
+cycle — ``recommend() / execute(queries) / observe()`` — to show where each
+phase of the paper's protocol happens, while the baselines use the one-shot
+``step_workload_round`` convenience.
+
 Run with::
 
     python examples/data_exploration_shifting.py
+
+``REPRO_SMOKE=1`` shrinks it for CI smoke runs.
 """
 
 from __future__ import annotations
 
-from repro.core import MabConfig, MabTuner
-from repro.harness import (
-    ExperimentSettings,
-    SimulationOptions,
-    convergence_series,
-    make_tuner,
-    run_simulation,
-    totals_summary,
-)
+import os
+
+from repro.api import SimulationOptions, TuningSession, create_tuner
+from repro.harness import ExperimentSettings, convergence_series, totals_summary
 from repro.workloads import ShiftingWorkload, get_benchmark
+
+SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
 
 
 def main() -> None:
     benchmark = get_benchmark("ssb")
-    settings = ExperimentSettings.quick().with_overrides(sample_rows=2000)
-
-    def fresh_database():
-        return benchmark.create_database(
-            scale_factor=settings.scale_factor,
-            sample_rows=settings.sample_rows,
-            seed=settings.seed,
-        )
+    settings = ExperimentSettings.quick().with_overrides(
+        sample_rows=500 if SMOKE else 2000,
+        scale_factor=1.0 if SMOKE else 10.0,
+    )
+    database_spec = settings.database_spec("ssb")
 
     # Materialise the shifting workload once so every tuner sees the same queries.
     workload = ShiftingWorkload(
-        fresh_database(),
+        database_spec.create(),
         benchmark.templates,
         n_groups=3,
-        rounds_per_group=6,
+        rounds_per_group=3 if SMOKE else 6,
         seed=settings.workload_seed,
     )
     rounds = workload.materialise()
@@ -51,15 +52,24 @@ def main() -> None:
     print(f"Workload shifts at rounds {shift_rounds} (3 disjoint template groups).")
 
     options = SimulationOptions(benchmark_name="ssb", workload_type="shifting")
+    spec = settings.tuner_spec("ssb", "shifting")
     reports = {}
     for name in ("NoIndex", "PDTool"):
-        database = fresh_database()
-        tuner = make_tuner(name, database, "ssb", "shifting", settings)
-        reports[name] = run_simulation(database, tuner, rounds, options).report
+        database = database_spec.create()
+        session = TuningSession(database, create_tuner(name, database, spec), options)
+        for workload_round in rounds:
+            session.step_workload_round(workload_round)
+        reports[name] = session.report
 
-    mab_database = fresh_database()
-    mab = MabTuner(mab_database, MabConfig())
-    reports["MAB"] = run_simulation(mab_database, mab, rounds, options).report
+    # The bandit, stepped through the explicit phase cycle.
+    mab_database = database_spec.create()
+    mab = create_tuner("MAB", mab_database, spec)
+    mab_session = TuningSession(mab_database, mab, options)
+    for workload_round in rounds:
+        mab_session.recommend()                      # propose before seeing the round
+        mab_session.execute(workload_round.queries)  # materialise + run the round
+        mab_session.observe(is_shift_round=workload_round.is_shift_round)
+    reports["MAB"] = mab_session.report
 
     print("\nPer-round totals (watch the spikes right after each shift):")
     print(convergence_series(reports))

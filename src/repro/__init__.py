@@ -14,12 +14,28 @@ Quick start::
     reports = quickstart()          # tiny TPC-H static experiment
     print(reports["MAB"].summary())
 
-See ``examples/`` for richer scenarios and ``benchmarks/`` for the scripts
-that regenerate every table and figure of the paper.
+The supported programmatic surface is :mod:`repro.api` — sessions
+(:class:`TuningSession`), the tuner registry (:func:`create_tuner` /
+:func:`register_tuner`) and the simulation/competition drivers — re-exported
+here for convenience.  See ``examples/`` for richer scenarios and
+``benchmarks/`` for the scripts that regenerate every table and figure of the
+paper.
 """
 
 from __future__ import annotations
 
+from .api import (
+    DatabaseSpec,
+    Recommendation,
+    Tuner,
+    TunerSpec,
+    TuningSession,
+    create_tuner,
+    register_tuner,
+    registered_tuner_names,
+    run_competition,
+    run_simulation,
+)
 from .core import C2UCB, MabConfig, MabTuner
 from .engine import Database, IndexDefinition
 from .harness import (
@@ -30,19 +46,29 @@ from .harness import (
 )
 from .workloads import get_benchmark
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "C2UCB",
     "Database",
+    "DatabaseSpec",
     "ExperimentSettings",
     "IndexDefinition",
     "MabConfig",
     "MabTuner",
+    "Recommendation",
     "RunReport",
+    "Tuner",
+    "TunerSpec",
+    "TuningSession",
     "__version__",
+    "create_tuner",
     "get_benchmark",
     "quickstart",
+    "register_tuner",
+    "registered_tuner_names",
+    "run_competition",
+    "run_simulation",
     "run_workload_experiment",
     "static_experiment",
 ]

@@ -1,0 +1,58 @@
+"""``repro.api`` — the public surface of the reproduction.
+
+Everything a downstream caller needs lives here:
+
+* the tuner protocol — :class:`Tuner`, :class:`Recommendation`;
+* the tuner registry — :func:`register_tuner`, :func:`create_tuner`,
+  :class:`TunerSpec`, :func:`registered_tuner_names`;
+* session-based tuning — :class:`TuningSession` with its explicit
+  ``recommend() / execute(queries) / observe()`` cycle and one-shot
+  ``step(queries)``, for callers streaming their own workload;
+* batch drivers — :func:`run_simulation` over pre-materialised workload
+  rounds and :func:`run_competition` racing several tuners (optionally
+  across processes) with deterministic report merging;
+* the report containers — :class:`RunReport`, :class:`RoundReport`.
+
+The experiment harness (:mod:`repro.harness`) reproduces the paper's tables
+and figures *on top of* this API; nothing there is required to tune a
+workload.
+"""
+
+from repro.harness.metrics import RoundReport, RunReport
+from repro.interface import Recommendation, Tuner
+
+from .registry import (
+    TunerSpec,
+    UnknownTunerError,
+    create_tuner,
+    register_tuner,
+    registered_tuner_names,
+)
+from .session import (
+    SimulationOptions,
+    SimulationTrace,
+    TuningSession,
+    execute_round,
+    run_simulation,
+)
+from .competition import CompetitionEntry, DatabaseSpec, run_competition
+
+__all__ = [
+    "CompetitionEntry",
+    "DatabaseSpec",
+    "Recommendation",
+    "RoundReport",
+    "RunReport",
+    "SimulationOptions",
+    "SimulationTrace",
+    "Tuner",
+    "TunerSpec",
+    "TuningSession",
+    "UnknownTunerError",
+    "create_tuner",
+    "execute_round",
+    "register_tuner",
+    "registered_tuner_names",
+    "run_competition",
+    "run_simulation",
+]

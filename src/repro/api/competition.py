@@ -1,0 +1,138 @@
+"""Competitions: several tuners racing over the same workload, optionally in parallel.
+
+:func:`run_competition` runs every entry as its own :class:`TuningSession` on
+its own identically-seeded database.  Because the sessions share nothing (the
+workload is materialised once, read-only), they fan out across processes with
+``workers > 1`` and the merged ``{label: RunReport}`` mapping is deterministic
+— same reports, same order — whatever the worker count.
+
+Parallel entries must be picklable: name the tuner by its registry name (or a
+``(name, TunerSpec)`` pair) and build databases through a picklable factory
+such as :class:`DatabaseSpec`.  Arbitrary ``Callable[[Database], Tuner]``
+entries are still accepted for sequential runs.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Mapping, Union
+
+import multiprocessing
+
+from repro.engine.catalog import Database
+from repro.harness.metrics import RunReport
+from repro.interface import Tuner
+
+from .registry import TunerSpec, create_tuner
+from .session import SimulationOptions, run_simulation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workloads.generator import WorkloadRound
+
+__all__ = ["CompetitionEntry", "DatabaseSpec", "run_competition"]
+
+#: One competitor: a registry name, a (name, spec) pair, or a raw factory.
+CompetitionEntry = Union[str, "tuple[str, TunerSpec]", Callable[[Database], Tuner]]
+
+
+@dataclass(frozen=True)
+class DatabaseSpec:
+    """A picklable recipe for identically-seeded benchmark databases.
+
+    Calling the spec (or :meth:`create`) materialises a fresh database, so it
+    slots in anywhere a ``database_factory`` is expected — including across
+    process boundaries, where closures cannot travel.
+    """
+
+    benchmark_name: str
+    scale_factor: float | None = None
+    sample_rows: int = 4000
+    seed: int = 7
+    memory_budget_multiplier: float | None = 1.0
+
+    def create(self) -> Database:
+        from repro.workloads.registry import get_benchmark
+
+        return get_benchmark(self.benchmark_name).create_database(
+            scale_factor=self.scale_factor,
+            sample_rows=self.sample_rows,
+            seed=self.seed,
+            memory_budget_multiplier=self.memory_budget_multiplier,
+        )
+
+    def __call__(self) -> Database:
+        return self.create()
+
+
+def _build_tuner(entry: CompetitionEntry, database: Database) -> Tuner:
+    if isinstance(entry, str):
+        return create_tuner(entry, database)
+    if isinstance(entry, tuple):
+        name, spec = entry
+        return create_tuner(name, database, spec)
+    return entry(database)
+
+
+def _run_entry(
+    label: str,
+    entry: CompetitionEntry,
+    database_factory: Callable[[], Database],
+    workload_rounds: "list[WorkloadRound]",
+    options: SimulationOptions | None,
+) -> RunReport:
+    database = database_factory()
+    tuner = _build_tuner(entry, database)
+    trace = run_simulation(database, tuner, workload_rounds, options)
+    trace.report.tuner_name = label
+    return trace.report
+
+
+def _worker_count(workers: int, n_entries: int) -> int:
+    if workers <= 0:
+        workers = os.cpu_count() or 1
+    return max(1, min(workers, n_entries))
+
+
+def run_competition(
+    database_factory: Callable[[], Database],
+    tuners: Mapping[str, CompetitionEntry],
+    workload_rounds: "list[WorkloadRound]",
+    options: SimulationOptions | None = None,
+    workers: int = 1,
+) -> dict[str, RunReport]:
+    """Run several tuners over the *same* workload, each on a fresh database.
+
+    ``database_factory`` must build identically seeded databases so that every
+    tuner faces the same data; ``workload_rounds`` should have been
+    materialised once (against any of those identical databases).  ``tuners``
+    maps report labels to competition entries.  ``workers > 1`` fans the
+    sessions out across that many processes (``workers=0`` uses every CPU);
+    the result is keyed and ordered by ``tuners`` regardless of completion
+    order, so parallel and sequential runs merge identically.
+    """
+    workers = _worker_count(workers, len(tuners))
+    if workers <= 1:
+        return {
+            label: _run_entry(label, entry, database_factory, workload_rounds, options)
+            for label, entry in tuners.items()
+        }
+
+    if options is not None and options.on_round is not None:
+        raise ValueError(
+            "per-round callbacks cannot cross process boundaries; "
+            "use workers=1 or drop options.on_round"
+        )
+    # The platform-default start method: fork on Linux (fast), spawn where
+    # forking a multithreaded/Objective-C parent is unsafe.  Parallel entries
+    # are required to be picklable either way.
+    context = multiprocessing.get_context()
+    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+        futures = {
+            label: pool.submit(
+                _run_entry, label, entry, database_factory, workload_rounds, options
+            )
+            for label, entry in tuners.items()
+        }
+        return {label: future.result() for label, future in futures.items()}

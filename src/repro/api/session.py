@@ -1,0 +1,295 @@
+"""Session-based tuning: drive one tuner round by round over any query stream.
+
+:class:`TuningSession` owns the ``(Database, Tuner, Planner, Executor)``
+quadruple and exposes the paper's round protocol as an explicit step cycle:
+
+1. :meth:`TuningSession.recommend` — the tuner proposes the configuration for
+   the upcoming (unseen) round;
+2. :meth:`TuningSession.execute` — the database transitions to that
+   configuration (creation time charged) and the caller's queries are planned
+   and executed under it (execution time charged);
+3. :meth:`TuningSession.observe` — the tuner receives the executed queries,
+   their observed statistics and the configuration change, closing the round.
+
+:meth:`TuningSession.step` runs one full cycle.  Because the caller supplies
+the queries of each round at :meth:`execute` time, a session can serve a live
+query stream — there is no requirement to pre-materialise a workload.
+:func:`run_simulation` is exactly that: a thin loop stepping a session over a
+list of :class:`~repro.workloads.generator.WorkloadRound` objects.
+
+Each tuner gets its own database instance (constructed identically) so that
+materialised indexes never leak between competitors, while a workload
+sequence can be materialised once and shared so every tuner sees exactly the
+same query instances.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.engine.catalog import ConfigurationChange, Database
+from repro.engine.execution import ExecutionResult, Executor
+from repro.engine.query import Query
+from repro.harness.metrics import RoundReport, RunReport
+from repro.interface import Recommendation, Tuner
+from repro.optimizer.planner import Planner
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workloads.generator import WorkloadRound
+
+__all__ = [
+    "SimulationOptions",
+    "SimulationTrace",
+    "TuningSession",
+    "execute_round",
+    "run_simulation",
+]
+
+
+@dataclass
+class SimulationOptions:
+    """Execution-layer options for one session or simulation run."""
+
+    noise_sigma: float = 0.03
+    executor_seed: int = 11
+    benchmark_name: str = "benchmark"
+    workload_type: str = "static"
+    #: Optional per-round callback (round report, execution results).
+    on_round: Callable[[RoundReport, list[ExecutionResult]], None] | None = None
+    #: Collect per-round execution results in the returned trace.
+    keep_results: bool = False
+
+
+@dataclass
+class SimulationTrace:
+    """Extended simulation output: the report plus optional per-round details."""
+
+    report: RunReport
+    results_by_round: list[list[ExecutionResult]] = field(default_factory=list)
+
+
+def execute_round(
+    database: Database,
+    planner: Planner,
+    executor: Executor,
+    queries: list[Query],
+) -> tuple[list[ExecutionResult], float]:
+    """Plan and execute one round's queries under the materialised configuration."""
+    results: list[ExecutionResult] = []
+    total_seconds = 0.0
+    for query in queries:
+        plan = planner.plan(query)
+        result = executor.execute(plan)
+        results.append(result)
+        total_seconds += result.total_seconds
+    return results, total_seconds
+
+
+class TuningSession:
+    """One tuner driving one database, one round at a time.
+
+    The session enforces the ``recommend -> execute -> observe`` cycle (a
+    :class:`RuntimeError` names the expected phase on misuse) and accumulates
+    a :class:`RunReport` identical in shape to the batch driver's, so
+    sessions, :func:`run_simulation` and competitions all feed the same
+    reporting and figure code.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        tuner: Tuner,
+        options: SimulationOptions | None = None,
+    ):
+        self.database = database
+        self.tuner = tuner
+        self.options = options or SimulationOptions()
+        self.planner = Planner(database)
+        self.executor = Executor(
+            database,
+            noise_sigma=self.options.noise_sigma,
+            seed=self.options.executor_seed,
+        )
+        self.report = RunReport(
+            tuner_name=tuner.name,
+            benchmark_name=self.options.benchmark_name,
+            workload_type=self.options.workload_type,
+        )
+        self.results_by_round: list[list[ExecutionResult]] = []
+        self.round_number = 0
+        self._phase = "recommend"
+        self._recommendation: Recommendation | None = None
+        self._change: ConfigurationChange | None = None
+        self._queries: list[Query] = []
+        self._results: list[ExecutionResult] = []
+        self._execution_seconds = 0.0
+        self._wall_recommend = 0.0
+        self._wall_apply = 0.0
+        self._wall_execute = 0.0
+
+    # ------------------------------------------------------------------ #
+    # the step cycle
+    # ------------------------------------------------------------------ #
+    def _require_phase(self, phase: str) -> None:
+        if self._phase != phase:
+            raise RuntimeError(
+                f"out-of-order session call: expected {self._phase}(), got {phase}()"
+            )
+
+    def recommend(
+        self,
+        training_queries: list[Query] | None = None,
+        round_number: int | None = None,
+    ) -> Recommendation:
+        """Start a round: the tuner proposes the configuration to materialise.
+
+        ``training_queries`` is only passed on rounds where the experiment
+        protocol invokes an offline tool (PDTool); ``round_number`` overrides
+        the session's running counter (defaults to the next round).
+        """
+        self._require_phase("recommend")
+        self.round_number = (
+            round_number if round_number is not None else self.round_number + 1
+        )
+        started = time.perf_counter()
+        self._recommendation = self.tuner.recommend(
+            self.round_number, training_queries=training_queries
+        )
+        self._wall_recommend = time.perf_counter() - started
+        self._phase = "execute"
+        return self._recommendation
+
+    def execute(self, queries: list[Query]) -> list[ExecutionResult]:
+        """Materialise the pending recommendation, then run the round's queries."""
+        self._require_phase("execute")
+        assert self._recommendation is not None
+        started = time.perf_counter()
+        self._change = self.database.apply_configuration(
+            self._recommendation.configuration
+        )
+        after_apply = time.perf_counter()
+        self._queries = list(queries)
+        self._results, self._execution_seconds = execute_round(
+            self.database, self.planner, self.executor, self._queries
+        )
+        self._wall_apply = after_apply - started
+        self._wall_execute = time.perf_counter() - after_apply
+        self._phase = "observe"
+        return self._results
+
+    def observe(self, is_shift_round: bool = False) -> RoundReport:
+        """Close the round: feed observations back and account its costs."""
+        self._require_phase("observe")
+        assert self._recommendation is not None and self._change is not None
+        started = time.perf_counter()
+        self.tuner.observe(self.round_number, self._queries, self._results, self._change)
+        wall_observe = time.perf_counter() - started
+
+        round_report = RoundReport(
+            round_number=self.round_number,
+            recommendation_seconds=self._recommendation.recommendation_seconds,
+            creation_seconds=self._change.creation_seconds + self._change.drop_seconds,
+            execution_seconds=self._execution_seconds,
+            n_queries=len(self._queries),
+            indexes_created=len(self._change.created),
+            indexes_dropped=len(self._change.dropped),
+            configuration_size=len(self.database.materialised_indexes),
+            configuration_bytes=self.database.used_index_bytes,
+            is_shift_round=is_shift_round,
+            wall_recommend_seconds=self._wall_recommend,
+            wall_apply_seconds=self._wall_apply,
+            wall_execute_seconds=self._wall_execute,
+            wall_observe_seconds=wall_observe,
+        )
+        self.report.rounds.append(round_report)
+        if self.options.keep_results:
+            self.results_by_round.append(self._results)
+        if self.options.on_round is not None:
+            self.options.on_round(round_report, self._results)
+
+        self._recommendation = None
+        self._change = None
+        self._queries = []
+        self._results = []
+        self._phase = "recommend"
+        return round_report
+
+    def step(
+        self,
+        queries: list[Query],
+        training_queries: list[Query] | None = None,
+        is_shift_round: bool = False,
+        round_number: int | None = None,
+    ) -> RoundReport:
+        """One full ``recommend -> execute -> observe`` cycle."""
+        self.recommend(training_queries, round_number=round_number)
+        self.execute(queries)
+        return self.observe(is_shift_round=is_shift_round)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle and results
+    # ------------------------------------------------------------------ #
+    def step_workload_round(self, workload_round: "WorkloadRound") -> RoundReport:
+        """Step over one pre-materialised workload round (the batch protocol)."""
+        training = (
+            workload_round.pdtool_training_queries
+            if workload_round.invoke_pdtool
+            else None
+        )
+        return self.step(
+            workload_round.queries,
+            training_queries=training,
+            is_shift_round=workload_round.is_shift_round,
+            round_number=workload_round.round_number,
+        )
+
+    @property
+    def trace(self) -> SimulationTrace:
+        return SimulationTrace(report=self.report, results_by_round=self.results_by_round)
+
+    def reset(self) -> None:
+        """Forget everything: tuner state, materialised indexes and the report.
+
+        After ``reset()`` the session replays from round 0 exactly as a fresh
+        session over a fresh tuner would (the executor's noise stream restarts
+        too).
+        """
+        self.tuner.reset()
+        self.database.apply_configuration([])
+        self.executor = Executor(
+            self.database,
+            noise_sigma=self.options.noise_sigma,
+            seed=self.options.executor_seed,
+        )
+        self.report = RunReport(
+            tuner_name=self.tuner.name,
+            benchmark_name=self.options.benchmark_name,
+            workload_type=self.options.workload_type,
+        )
+        self.results_by_round = []
+        self.round_number = 0
+        self._phase = "recommend"
+        self._recommendation = None
+        self._change = None
+        self._queries = []
+        self._results = []
+
+
+def run_simulation(
+    database: Database,
+    tuner: Tuner,
+    workload_rounds: "list[WorkloadRound]",
+    options: SimulationOptions | None = None,
+) -> SimulationTrace:
+    """Run one tuner over a materialised workload sequence.
+
+    A thin loop over :class:`TuningSession` — kept as the batch entry point
+    for pre-materialised workloads and pinned by a parity test to reproduce
+    the original driver's reports exactly.
+    """
+    session = TuningSession(database, tuner, options)
+    for workload_round in workload_rounds:
+        session.step_workload_round(workload_round)
+    return session.trace

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.registry import TunerSpec, register_tuner
 from repro.core.arms import Arm, ArmGenerator
 from repro.core.config import MabConfig
 from repro.core.context import ContextBuilder
@@ -66,6 +67,7 @@ class DDQNConfig:
         return max(self.epsilon_end, min(self.epsilon_start, value))
 
 
+@register_tuner("DDQN")
 class DDQNTuner(Tuner):
     """Double-DQN agent for online index selection."""
 
@@ -166,6 +168,8 @@ class DDQNTuner(Tuner):
         self.query_store.clear()
         self.replay.clear()
         self.samples_seen = 0
+        self._rounds_since_target_update = 0
+        self._rng = np.random.default_rng(self.config.seed)
         self._pending_actions = []
         self._pending_candidate_features = None
         self.online_network = MLP(self.online_network.config)
@@ -246,3 +250,11 @@ def build_ddqn_sc(database: Database, config: DDQNConfig | None = None) -> DDQNT
     base = config or DDQNConfig()
     sc_config = DDQNConfig(**{**base.__dict__, "single_column_only": True})
     return DDQNTuner(database, sc_config)
+
+
+def _ddqn_sc_from_spec(database: Database, spec: TunerSpec) -> DDQNTuner:
+    del spec  # the SC variant differs only in its candidate space
+    return build_ddqn_sc(database)
+
+
+register_tuner("DDQN_SC", "DDQN-SC", factory=_ddqn_sc_from_spec)

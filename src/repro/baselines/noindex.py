@@ -8,12 +8,14 @@ to index overuse (IMDb).
 
 from __future__ import annotations
 
+from repro.api.registry import register_tuner
 from repro.engine.catalog import ConfigurationChange
 from repro.engine.execution import ExecutionResult
 from repro.engine.query import Query
 from repro.interface import Recommendation, Tuner
 
 
+@register_tuner("NoIndex")
 class NoIndexTuner(Tuner):
     """A tuner that always recommends the empty configuration."""
 
@@ -38,3 +40,8 @@ class NoIndexTuner(Tuner):
 
     def reset(self) -> None:
         """NoIndex keeps no state."""
+
+    @classmethod
+    def from_spec(cls, database, spec) -> "NoIndexTuner":
+        del database, spec  # the empty configuration needs neither
+        return cls()

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api.registry import TunerSpec, register_tuner
 from repro.core.arms import ArmGenerator
 from repro.core.config import MabConfig
 from repro.engine.catalog import ConfigurationChange, Database
@@ -67,10 +68,21 @@ class _Candidate:
         return sum(self.benefits.values())
 
 
+@register_tuner("PDTool")
 class PDToolTuner(Tuner):
     """What-if-driven index advisor invoked with a training workload."""
 
     name = "PDTool"
+
+    @classmethod
+    def from_spec(cls, database: Database, spec: TunerSpec) -> "PDToolTuner":
+        config = PDToolConfig()
+        if spec.benchmark_name == "tpcds" and spec.workload_type == "random":
+            # The paper caps each TPC-DS dynamic-random invocation at an hour.
+            config = PDToolConfig(
+                invocation_time_limit_seconds=spec.pdtool_invocation_limit_seconds
+            )
+        return cls(database, config)
 
     def __init__(self, database: Database, config: PDToolConfig | None = None):
         self.database = database

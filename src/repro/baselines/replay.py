@@ -30,6 +30,7 @@ class ReplayBuffer:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
+        self.seed = seed
         self._storage: list[Transition] = []
         self._position = 0
         self._rng = np.random.default_rng(seed)
@@ -52,5 +53,11 @@ class ReplayBuffer:
         return [self._storage[int(i)] for i in positions]
 
     def clear(self) -> None:
+        """Drop every stored transition and restart the sampling stream.
+
+        Restarting the rng keeps a cleared buffer bit-identical to a fresh
+        one, which ``Tuner.reset()`` relies on for reproducible repetitions.
+        """
         self._storage.clear()
         self._position = 0
+        self._rng = np.random.default_rng(self.seed)

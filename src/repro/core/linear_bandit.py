@@ -50,7 +50,7 @@ class C2UCB:
         self.dimension = dimension
         self.regularisation = regularisation
         self.refresh_interval = refresh_interval
-        self._rng = np.random.default_rng(seed)
+        self.seed = seed
         #: Number of full ``np.linalg.inv`` calls performed so far (hygiene
         #: refreshes and post-``forget`` recoveries; never the steady state).
         self.inversion_count = 0
@@ -60,7 +60,12 @@ class C2UCB:
     # state
     # ------------------------------------------------------------------ #
     def reset(self) -> None:
-        """Reinitialise ``V = lambda * I`` and ``b = 0`` (line 2 of Algorithm 1)."""
+        """Reinitialise ``V = lambda * I`` and ``b = 0`` (line 2 of Algorithm 1).
+
+        The tie-break random stream restarts from its seed too, so a reset
+        learner replays bit-identically to a freshly constructed one.
+        """
+        self._rng = np.random.default_rng(self.seed)
         self._v = self.regularisation * np.eye(self.dimension)
         self._b = np.zeros(self.dimension)
         # The inverse of a scaled identity is known in closed form — no

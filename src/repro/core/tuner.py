@@ -24,6 +24,7 @@ import time
 
 import numpy as np
 
+from repro.api.registry import register_tuner
 from repro.engine.catalog import ConfigurationChange, Database
 from repro.engine.execution import ExecutionResult
 from repro.engine.indexes import IndexDefinition
@@ -39,6 +40,7 @@ from .query_store import QueryStore
 from .rewards import compute_round_rewards
 
 
+@register_tuner("MAB")
 class MabTuner(Tuner):
     """Online index selection with a contextual combinatorial bandit."""
 

@@ -1,63 +1,70 @@
 """Experiment harness: drives tuners over workloads and reproduces every
-table and figure of the paper's evaluation section."""
+table and figure of the paper's evaluation section.
 
-from .experiments import (
-    DEFAULT_TUNERS,
-    ExperimentSettings,
-    aggregate_rl_series,
-    build_workload_rounds,
-    make_tuner,
-    random_experiment,
-    rl_comparison_experiment,
-    run_workload_experiment,
-    shifting_experiment,
-    static_experiment,
-    table1_breakdown_experiment,
-    table2_database_size_experiment,
-)
-from .interface import Recommendation, Tuner
-from .metrics import RoundReport, RunReport, speedup_percentage
-from .reporting import (
-    convergence_series,
-    exploration_cost_summary,
-    final_round_execution_comparison,
-    format_table,
-    speedup_summary,
-    table1_breakdown,
-    table2_database_size,
-    totals_summary,
-)
-from .simulation import SimulationOptions, SimulationTrace, execute_round, run_competition, run_simulation
+Public API note
+---------------
+The harness is the *paper-reproduction* layer.  The supported public surface
+for driving tuners programmatically — sessions, the tuner registry, the
+simulation and competition drivers — is :mod:`repro.api`; the names below are
+re-exported from there (or implemented on top of it) so existing imports keep
+working.
 
-__all__ = [
-    "DEFAULT_TUNERS",
-    "ExperimentSettings",
-    "Recommendation",
-    "RoundReport",
-    "RunReport",
-    "SimulationOptions",
-    "SimulationTrace",
-    "Tuner",
-    "aggregate_rl_series",
-    "build_workload_rounds",
-    "convergence_series",
-    "execute_round",
-    "exploration_cost_summary",
-    "final_round_execution_comparison",
-    "format_table",
-    "make_tuner",
-    "random_experiment",
-    "rl_comparison_experiment",
-    "run_competition",
-    "run_simulation",
-    "run_workload_experiment",
-    "shifting_experiment",
-    "speedup_percentage",
-    "speedup_summary",
-    "static_experiment",
-    "table1_breakdown",
-    "table2_database_size",
-    "table2_database_size_experiment",
-    "table1_breakdown_experiment",
-    "totals_summary",
-]
+Attributes resolve lazily (PEP 562): the harness depends on :mod:`repro.api`
+while the tuner implementations that register themselves with the API import
+the registry back, and lazy resolution keeps that cycle unobservable.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+#: name -> submodule that defines it (relative to this package).
+_EXPORTS = {
+    "DEFAULT_TUNERS": ".experiments",
+    "ExperimentSettings": ".experiments",
+    "aggregate_rl_series": ".experiments",
+    "build_workload_rounds": ".experiments",
+    "make_tuner": ".experiments",
+    "random_experiment": ".experiments",
+    "rl_comparison_experiment": ".experiments",
+    "run_workload_experiment": ".experiments",
+    "shifting_experiment": ".experiments",
+    "static_experiment": ".experiments",
+    "table1_breakdown_experiment": ".experiments",
+    "table2_database_size_experiment": ".experiments",
+    "Recommendation": "repro.interface",
+    "Tuner": "repro.interface",
+    "RoundReport": ".metrics",
+    "RunReport": ".metrics",
+    "speedup_percentage": ".metrics",
+    "convergence_series": ".reporting",
+    "exploration_cost_summary": ".reporting",
+    "final_round_execution_comparison": ".reporting",
+    "format_table": ".reporting",
+    "speedup_summary": ".reporting",
+    "table1_breakdown": ".reporting",
+    "table2_database_size": ".reporting",
+    "totals_summary": ".reporting",
+    "SimulationOptions": "repro.api",
+    "SimulationTrace": "repro.api",
+    "TuningSession": "repro.api",
+    "execute_round": "repro.api",
+    "run_competition": "repro.api",
+    "run_simulation": "repro.api",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    module = importlib.import_module(module_name, __name__)
+    value = getattr(module, name)
+    globals()[name] = value  # cache: resolve each name at most once
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

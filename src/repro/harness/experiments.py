@@ -6,6 +6,11 @@ Every function below regenerates one experiment.  The paper's full parameters
 experiments down so the complete benchmark suite runs in minutes on a laptop
 while preserving every qualitative comparison.
 
+The experiments are built entirely on :mod:`repro.api`: tuners are resolved
+through the registry (:func:`repro.api.create_tuner`) and every run is a
+:class:`repro.api.TuningSession` driven by :func:`repro.api.run_competition`,
+so ``workers > 1`` fans the tuners of one experiment out across processes.
+
 Index of experiments (see DESIGN.md for the full mapping):
 
 * Figures 2 & 3 — :func:`static_experiment`
@@ -18,17 +23,16 @@ Index of experiments (see DESIGN.md for the full mapping):
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
-from typing import Callable
 
 import numpy as np
 
-from repro.baselines.ddqn import DDQNConfig, DDQNTuner
-from repro.baselines.noindex import NoIndexTuner
-from repro.baselines.pdtool import PDToolConfig, PDToolTuner
-from repro.core.config import MabConfig
-from repro.core.tuner import MabTuner
+from repro.api.competition import DatabaseSpec, run_competition
+from repro.api.registry import TunerSpec, create_tuner
+from repro.api.session import SimulationOptions
 from repro.engine.catalog import Database
+from repro.interface import Tuner
 from repro.workloads.base import Benchmark
 from repro.workloads.generator import (
     RandomWorkload,
@@ -38,9 +42,7 @@ from repro.workloads.generator import (
 )
 from repro.workloads.registry import get_benchmark
 
-from .interface import Tuner
 from .metrics import RunReport
-from .simulation import SimulationOptions, run_simulation
 
 #: Tuners shown in the paper's Figures 2-7.
 DEFAULT_TUNERS = ("NoIndex", "PDTool", "MAB")
@@ -87,6 +89,24 @@ class ExperimentSettings:
     def with_overrides(self, **overrides) -> "ExperimentSettings":
         return replace(self, **overrides)
 
+    def tuner_spec(self, benchmark_name: str = "", workload_type: str = "static") -> TunerSpec:
+        """The :class:`repro.api.TunerSpec` these settings imply for one regime."""
+        return TunerSpec(
+            benchmark_name=benchmark_name,
+            workload_type=workload_type,
+            pdtool_invocation_limit_seconds=self.tpcds_random_pdtool_limit_seconds,
+        )
+
+    def database_spec(self, benchmark_name: str) -> DatabaseSpec:
+        """A picklable factory for this experiment's databases."""
+        return DatabaseSpec(
+            benchmark_name=benchmark_name,
+            scale_factor=self.scale_factor,
+            sample_rows=self.sample_rows,
+            seed=self.seed,
+            memory_budget_multiplier=self.memory_budget_multiplier,
+        )
+
 
 # --------------------------------------------------------------------- #
 # tuner and workload factories
@@ -98,25 +118,17 @@ def make_tuner(
     workload_type: str = "static",
     settings: ExperimentSettings | None = None,
 ) -> Tuner:
-    """Build a tuner by display name with the paper's per-experiment settings."""
+    """Deprecated: use :func:`repro.api.create_tuner` with a :class:`TunerSpec`."""
+    warnings.warn(
+        "make_tuner is deprecated; use repro.api.create_tuner(name, database, "
+        "TunerSpec(...)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     settings = settings or ExperimentSettings()
-    key = name.strip().lower()
-    if key == "noindex":
-        return NoIndexTuner()
-    if key == "mab":
-        return MabTuner(database, MabConfig())
-    if key == "pdtool":
-        config = PDToolConfig()
-        if benchmark_name == "tpcds" and workload_type == "random":
-            config = PDToolConfig(
-                invocation_time_limit_seconds=settings.tpcds_random_pdtool_limit_seconds
-            )
-        return PDToolTuner(database, config)
-    if key == "ddqn":
-        return DDQNTuner(database, DDQNConfig())
-    if key in ("ddqn_sc", "ddqn-sc"):
-        return DDQNTuner(database, DDQNConfig(single_column_only=True))
-    raise KeyError(f"unknown tuner {name!r}")
+    return create_tuner(
+        name, database, settings.tuner_spec(benchmark_name, workload_type)
+    )
 
 
 def build_workload_rounds(
@@ -166,36 +178,33 @@ def run_workload_experiment(
     tuners: tuple[str, ...] = DEFAULT_TUNERS,
     settings: ExperimentSettings | None = None,
     n_rounds_override: int | None = None,
+    workers: int = 1,
 ) -> dict[str, RunReport]:
-    """Run the named tuners over one benchmark/regime; returns reports by tuner."""
+    """Run the named tuners over one benchmark/regime; returns reports by tuner.
+
+    ``workers`` is forwarded to :func:`repro.api.run_competition`: each tuner
+    already owns its database, so ``workers > 1`` runs them in parallel
+    processes with an identical merged result.
+    """
     settings = settings or ExperimentSettings()
     benchmark = get_benchmark(benchmark_name)
-
-    def database_factory() -> Database:
-        return benchmark.create_database(
-            scale_factor=settings.scale_factor,
-            sample_rows=settings.sample_rows,
-            seed=settings.seed,
-            memory_budget_multiplier=settings.memory_budget_multiplier,
-        )
-
-    workload_database = database_factory()
+    database_spec = settings.database_spec(benchmark.name)
     workload_rounds = build_workload_rounds(
-        benchmark, workload_database, workload_type, settings, n_rounds_override
+        benchmark, database_spec.create(), workload_type, settings, n_rounds_override
     )
     options = SimulationOptions(
         noise_sigma=settings.noise_sigma,
         benchmark_name=benchmark.name,
         workload_type=workload_type,
     )
-    reports: dict[str, RunReport] = {}
-    for tuner_name in tuners:
-        database = database_factory()
-        tuner = make_tuner(tuner_name, database, benchmark.name, workload_type, settings)
-        trace = run_simulation(database, tuner, workload_rounds, options)
-        trace.report.tuner_name = tuner_name
-        reports[tuner_name] = trace.report
-    return reports
+    spec = settings.tuner_spec(benchmark.name, workload_type)
+    return run_competition(
+        database_spec,
+        {name: (name, spec) for name in tuners},
+        workload_rounds,
+        options,
+        workers=workers,
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -205,27 +214,36 @@ def static_experiment(
     benchmark_name: str,
     settings: ExperimentSettings | None = None,
     tuners: tuple[str, ...] = DEFAULT_TUNERS,
+    workers: int = 1,
 ) -> dict[str, RunReport]:
     """Figures 2 and 3: static workload convergence and totals."""
-    return run_workload_experiment(benchmark_name, "static", tuners, settings)
+    return run_workload_experiment(
+        benchmark_name, "static", tuners, settings, workers=workers
+    )
 
 
 def shifting_experiment(
     benchmark_name: str,
     settings: ExperimentSettings | None = None,
     tuners: tuple[str, ...] = DEFAULT_TUNERS,
+    workers: int = 1,
 ) -> dict[str, RunReport]:
     """Figures 4 and 5: dynamic shifting workload convergence and totals."""
-    return run_workload_experiment(benchmark_name, "shifting", tuners, settings)
+    return run_workload_experiment(
+        benchmark_name, "shifting", tuners, settings, workers=workers
+    )
 
 
 def random_experiment(
     benchmark_name: str,
     settings: ExperimentSettings | None = None,
     tuners: tuple[str, ...] = DEFAULT_TUNERS,
+    workers: int = 1,
 ) -> dict[str, RunReport]:
     """Figures 6 and 7: dynamic random workload convergence and totals."""
-    return run_workload_experiment(benchmark_name, "random", tuners, settings)
+    return run_workload_experiment(
+        benchmark_name, "random", tuners, settings, workers=workers
+    )
 
 
 def table1_breakdown_experiment(
@@ -233,6 +251,7 @@ def table1_breakdown_experiment(
     workload_types: tuple[str, ...] = ("static", "shifting", "random"),
     settings: ExperimentSettings | None = None,
     tuners: tuple[str, ...] = ("PDTool", "MAB"),
+    workers: int = 1,
 ) -> dict[str, dict[str, dict[str, RunReport]]]:
     """Table I: recommendation/creation/execution breakdown for all 15 cells."""
     breakdown: dict[str, dict[str, dict[str, RunReport]]] = {}
@@ -240,7 +259,7 @@ def table1_breakdown_experiment(
         breakdown[workload_type] = {}
         for benchmark_name in benchmark_names:
             breakdown[workload_type][benchmark_name] = run_workload_experiment(
-                benchmark_name, workload_type, tuners, settings
+                benchmark_name, workload_type, tuners, settings, workers=workers
             )
     return breakdown
 
@@ -250,6 +269,7 @@ def table2_database_size_experiment(
     scale_factors: tuple[float, ...] = (1.0, 10.0, 100.0),
     settings: ExperimentSettings | None = None,
     tuners: tuple[str, ...] = ("PDTool", "MAB"),
+    workers: int = 1,
 ) -> dict[str, dict[float, dict[str, RunReport]]]:
     """Table II: static TPC-H / TPC-H Skew at different database sizes."""
     settings = settings or ExperimentSettings()
@@ -259,7 +279,7 @@ def table2_database_size_experiment(
         for scale_factor in scale_factors:
             scaled = settings.with_overrides(scale_factor=scale_factor)
             results[benchmark_name][scale_factor] = run_workload_experiment(
-                benchmark_name, "static", tuners, scaled
+                benchmark_name, "static", tuners, scaled, workers=workers
             )
     return results
 
@@ -268,6 +288,7 @@ def rl_comparison_experiment(
     benchmark_name: str = "tpch",
     settings: ExperimentSettings | None = None,
     tuners: tuple[str, ...] = ("PDTool", "MAB", "DDQN", "DDQN_SC"),
+    workers: int = 1,
 ) -> dict[str, list[RunReport]]:
     """Figure 8: MAB vs DDQN / DDQN-SC vs PDTool on static TPC-H (Skew).
 
@@ -288,6 +309,7 @@ def rl_comparison_experiment(
             tuners,
             repetition_settings,
             n_rounds_override=settings.rl_rounds,
+            workers=workers,
         )
         for name in tuners:
             repetition_reports[name].append(reports[name])

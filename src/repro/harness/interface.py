@@ -1,10 +1,20 @@
-"""Compatibility re-export: the tuner interface lives in :mod:`repro.interface`.
+"""Deprecated location of the tuner interface.
 
-It is defined at the top level of the package (rather than inside the harness)
-so that the core tuner and the baselines can implement it without importing
-the full experiment harness.
+The tuner protocol is part of the public API: import
+:class:`~repro.api.Tuner` and :class:`~repro.api.Recommendation` from
+:mod:`repro.api` (their implementation home is :mod:`repro.interface`).
+This shim re-exports them and warns.
 """
 
+import warnings
+
 from repro.interface import Recommendation, Tuner
+
+warnings.warn(
+    "repro.harness.interface is deprecated; import Tuner and Recommendation "
+    "from repro.api instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["Recommendation", "Tuner"]

@@ -1,153 +1,25 @@
-"""The online tuning simulation driver.
+"""Compatibility re-exports: the simulation drivers live in :mod:`repro.api`.
 
-:func:`run_simulation` drives one tuner over one workload sequence against one
-database instance, charging recommendation, index-creation and query-execution
-time per round exactly as the paper's protocol does:
-
-1. the tuner recommends a configuration for the upcoming (unseen) round;
-2. the database transitions to that configuration (creation time charged);
-3. the round's queries are planned by the optimiser under the materialised
-   configuration and timed by the executor (execution time charged);
-4. the tuner observes the round's queries, execution statistics and
-   configuration change.
-
-Each tuner gets its own database instance (constructed identically) so that
-materialised indexes never leak between competitors, while the workload
-sequence is materialised once and shared so every tuner sees exactly the same
-query instances.
+:func:`repro.api.run_simulation` is a thin loop over
+:class:`repro.api.TuningSession`; :func:`repro.api.run_competition` races
+several sessions with optional process fan-out.  This module keeps the
+historical ``repro.harness.simulation`` import path working.
 """
 
-from __future__ import annotations
+from repro.api.competition import run_competition
+from repro.api.session import (
+    SimulationOptions,
+    SimulationTrace,
+    TuningSession,
+    execute_round,
+    run_simulation,
+)
 
-import time
-from dataclasses import dataclass, field
-from typing import Callable
-
-from repro.engine.catalog import Database
-from repro.engine.execution import ExecutionResult, Executor
-from repro.engine.query import Query
-from repro.optimizer.planner import Planner
-from repro.workloads.generator import WorkloadRound
-
-from .interface import Tuner
-from .metrics import RoundReport, RunReport
-
-
-@dataclass
-class SimulationOptions:
-    """Execution-layer options for one simulation run."""
-
-    noise_sigma: float = 0.03
-    executor_seed: int = 11
-    benchmark_name: str = "benchmark"
-    workload_type: str = "static"
-    #: Optional per-round callback (round report, execution results).
-    on_round: Callable[[RoundReport, list[ExecutionResult]], None] | None = None
-    #: Collect per-round execution results in the returned trace.
-    keep_results: bool = False
-
-
-@dataclass
-class SimulationTrace:
-    """Extended simulation output: the report plus optional per-round details."""
-
-    report: RunReport
-    results_by_round: list[list[ExecutionResult]] = field(default_factory=list)
-
-
-def execute_round(
-    database: Database,
-    planner: Planner,
-    executor: Executor,
-    queries: list[Query],
-) -> tuple[list[ExecutionResult], float]:
-    """Plan and execute one round's queries under the materialised configuration."""
-    results: list[ExecutionResult] = []
-    total_seconds = 0.0
-    for query in queries:
-        plan = planner.plan(query)
-        result = executor.execute(plan)
-        results.append(result)
-        total_seconds += result.total_seconds
-    return results, total_seconds
-
-
-def run_simulation(
-    database: Database,
-    tuner: Tuner,
-    workload_rounds: list[WorkloadRound],
-    options: SimulationOptions | None = None,
-) -> SimulationTrace:
-    """Run one tuner over a materialised workload sequence."""
-    options = options or SimulationOptions()
-    planner = Planner(database)
-    executor = Executor(database, noise_sigma=options.noise_sigma, seed=options.executor_seed)
-    report = RunReport(
-        tuner_name=tuner.name,
-        benchmark_name=options.benchmark_name,
-        workload_type=options.workload_type,
-    )
-    trace = SimulationTrace(report=report)
-
-    for workload_round in workload_rounds:
-        round_number = workload_round.round_number
-        training = (
-            workload_round.pdtool_training_queries if workload_round.invoke_pdtool else None
-        )
-        phase_started = time.perf_counter()
-        recommendation = tuner.recommend(round_number, training_queries=training)
-        after_recommend = time.perf_counter()
-        change = database.apply_configuration(recommendation.configuration)
-        after_apply = time.perf_counter()
-        results, execution_seconds = execute_round(
-            database, planner, executor, workload_round.queries
-        )
-        after_execute = time.perf_counter()
-        tuner.observe(round_number, workload_round.queries, results, change)
-        after_observe = time.perf_counter()
-
-        round_report = RoundReport(
-            round_number=round_number,
-            recommendation_seconds=recommendation.recommendation_seconds,
-            creation_seconds=change.creation_seconds + change.drop_seconds,
-            execution_seconds=execution_seconds,
-            n_queries=len(workload_round.queries),
-            indexes_created=len(change.created),
-            indexes_dropped=len(change.dropped),
-            configuration_size=len(database.materialised_indexes),
-            configuration_bytes=database.used_index_bytes,
-            is_shift_round=workload_round.is_shift_round,
-            wall_recommend_seconds=after_recommend - phase_started,
-            wall_apply_seconds=after_apply - after_recommend,
-            wall_execute_seconds=after_execute - after_apply,
-            wall_observe_seconds=after_observe - after_execute,
-        )
-        report.rounds.append(round_report)
-        if options.keep_results:
-            trace.results_by_round.append(results)
-        if options.on_round is not None:
-            options.on_round(round_report, results)
-    return trace
-
-
-def run_competition(
-    database_factory: Callable[[], Database],
-    tuner_factories: dict[str, Callable[[Database], Tuner]],
-    workload_rounds: list[WorkloadRound],
-    options: SimulationOptions | None = None,
-) -> dict[str, RunReport]:
-    """Run several tuners over the *same* workload, each on a fresh database.
-
-    ``database_factory`` must build identically seeded databases so that every
-    tuner faces the same data; ``workload_rounds`` should have been
-    materialised once (against any of those identical databases).
-    """
-    options = options or SimulationOptions()
-    reports: dict[str, RunReport] = {}
-    for label, tuner_factory in tuner_factories.items():
-        database = database_factory()
-        tuner = tuner_factory(database)
-        trace = run_simulation(database, tuner, workload_rounds, options)
-        trace.report.tuner_name = label
-        reports[label] = trace.report
-    return reports
+__all__ = [
+    "SimulationOptions",
+    "SimulationTrace",
+    "TuningSession",
+    "execute_round",
+    "run_competition",
+    "run_simulation",
+]

@@ -11,17 +11,26 @@ tuner through this small protocol, which encodes the paper's round structure:
 3. ``observe`` — the tuner receives the executed queries, their observed
    execution statistics and the configuration change (with per-index creation
    times), from which it can shape rewards for the next round.
+
+This module is the implementation home of the protocol; the supported public
+import path is :mod:`repro.api`, which re-exports :class:`Tuner` and
+:class:`Recommendation` next to the tuner registry and the session drivers.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.engine.catalog import ConfigurationChange
 from repro.engine.execution import ExecutionResult
 from repro.engine.indexes import IndexDefinition
 from repro.engine.query import Query
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.registry import TunerSpec
+    from repro.engine.catalog import Database
 
 
 @dataclass
@@ -63,4 +72,20 @@ class Tuner(ABC):
         """Receive the executed round's observed statistics."""
 
     def reset(self) -> None:
-        """Forget all learned state (used between experiment repetitions)."""
+        """Forget all learned state (used between experiment repetitions).
+
+        A reset tuner must be *bit-identical* to a freshly constructed one:
+        rerunning the same workload from round 0 produces the same decisions
+        (internal random streams restart from their seeds).
+        """
+
+    @classmethod
+    def from_spec(cls, database: "Database", spec: "TunerSpec") -> "Tuner":
+        """Build this tuner for one database under an experiment spec.
+
+        The default covers tuners whose constructor is ``cls(database)`` with
+        optional extras; tuners that specialise per benchmark or workload
+        regime (e.g. PDTool's TPC-DS random time cap) override it.  This is
+        the factory the registry (:func:`repro.api.register_tuner`) records.
+        """
+        return cls(database)

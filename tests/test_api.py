@@ -1,0 +1,375 @@
+"""Tests for the public API: registry, sessions, competitions and parity.
+
+The parity test pins the central refactor guarantee of the api_redesign PR:
+``run_simulation`` — now a thin loop over :class:`repro.api.TuningSession` —
+reproduces the pre-refactor driver's reports exactly.  The reset tests pin
+the contract that ``Tuner.reset()`` makes a rerun from round 0 bit-identical
+to a fresh tuner, for every registered tuner.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.api import (
+    DatabaseSpec,
+    Recommendation,
+    SimulationOptions,
+    Tuner,
+    TunerSpec,
+    TuningSession,
+    UnknownTunerError,
+    create_tuner,
+    register_tuner,
+    registered_tuner_names,
+    run_competition,
+    run_simulation,
+)
+from repro.api.registry import _PRIMARY_NAMES, _REGISTRY, _normalise
+from repro.engine.execution import Executor
+from repro.harness import ExperimentSettings, build_workload_rounds, make_tuner
+from repro.optimizer.planner import Planner
+from repro.workloads import StaticWorkload, get_benchmark
+
+
+def tiny_spec(benchmark_name: str = "ssb", seed: int = 4) -> DatabaseSpec:
+    return DatabaseSpec(benchmark_name, scale_factor=0.1, sample_rows=200, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def ssb_rounds():
+    benchmark = get_benchmark("ssb")
+    database = tiny_spec().create()
+    return StaticWorkload(database, benchmark.templates[:4], n_rounds=4, seed=1).materialise()
+
+
+# --------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------- #
+class TestRegistry:
+    def test_builtin_names_registered(self):
+        names = registered_tuner_names()
+        assert {"MAB", "NoIndex", "PDTool", "DDQN", "DDQN_SC"} <= set(names)
+
+    def test_create_tuner_by_name_and_alias(self):
+        database = tiny_spec().create()
+        for name, expected in [
+            ("NoIndex", "NoIndex"),
+            ("mab", "MAB"),
+            ("PDTool", "PDTool"),
+            ("DDQN", "DDQN"),
+            ("DDQN-SC", "DDQN_SC"),
+            ("ddqn_sc", "DDQN_SC"),
+        ]:
+            assert create_tuner(name, database).name == expected
+
+    def test_unknown_tuner_error_names_and_lists(self):
+        database = tiny_spec().create()
+        with pytest.raises(ValueError, match="bogus.*registered tuners.*MAB"):
+            create_tuner("bogus", database)
+        # the legacy contract (KeyError) still holds
+        with pytest.raises(KeyError):
+            create_tuner("bogus", database)
+        assert issubclass(UnknownTunerError, ValueError)
+        assert issubclass(UnknownTunerError, KeyError)
+
+    def test_spec_drives_pdtool_tpcds_random_cap(self):
+        database = tiny_spec().create()
+        capped = create_tuner(
+            "PDTool",
+            database,
+            TunerSpec("tpcds", "random", pdtool_invocation_limit_seconds=123.0),
+        )
+        assert capped.config.invocation_time_limit_seconds == 123.0
+        uncapped = create_tuner("PDTool", database, TunerSpec("tpch", "static"))
+        assert uncapped.config.invocation_time_limit_seconds is None
+
+    def test_register_custom_tuner(self):
+        @register_tuner("_TestEcho")
+        class EchoTuner(Tuner):
+            name = "_TestEcho"
+
+            def __init__(self, database):
+                self.database = database
+
+            def recommend(self, round_number, training_queries=None):
+                return Recommendation()
+
+            def observe(self, round_number, queries, results, change):
+                pass
+
+        try:
+            database = tiny_spec().create()
+            tuner = create_tuner("_testecho", database)
+            assert isinstance(tuner, EchoTuner)
+            assert tuner.database is database
+            assert "_TestEcho" in registered_tuner_names()
+        finally:
+            _REGISTRY.pop(_normalise("_TestEcho"), None)
+            _PRIMARY_NAMES.remove("_TestEcho")
+
+    def test_make_tuner_shim_deprecated_but_working(self, tiny_database):
+        with pytest.warns(DeprecationWarning, match="create_tuner"):
+            tuner = make_tuner("MAB", tiny_database)
+        assert tuner.name == "MAB"
+        settings = ExperimentSettings()
+        with pytest.warns(DeprecationWarning):
+            pdtool = make_tuner("PDTool", tiny_database, "tpcds", "random", settings)
+        assert (
+            pdtool.config.invocation_time_limit_seconds
+            == settings.tpcds_random_pdtool_limit_seconds
+        )
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(KeyError):
+                make_tuner("nope", tiny_database)
+
+    def test_harness_interface_shim_deprecated(self):
+        import importlib
+        import sys
+
+        sys.modules.pop("repro.harness.interface", None)
+        with pytest.warns(DeprecationWarning, match="repro.api"):
+            module = importlib.import_module("repro.harness.interface")
+        assert module.Tuner is Tuner
+
+    def test_database_spec_is_picklable_factory(self):
+        spec = tiny_spec()
+        clone = pickle.loads(pickle.dumps(spec))
+        database = clone()
+        assert database.schema.name == spec.create().schema.name
+
+
+# --------------------------------------------------------------------- #
+# sessions
+# --------------------------------------------------------------------- #
+class TestTuningSession:
+    def test_explicit_phase_cycle(self, ssb_rounds):
+        database = tiny_spec().create()
+        session = TuningSession(
+            database, create_tuner("MAB", database), SimulationOptions(benchmark_name="ssb")
+        )
+        recommendation = session.recommend()
+        assert isinstance(recommendation, Recommendation)
+        results = session.execute(ssb_rounds[0].queries)
+        assert len(results) == len(ssb_rounds[0].queries)
+        round_report = session.observe()
+        assert round_report.round_number == 1
+        assert round_report.n_queries == len(ssb_rounds[0].queries)
+        assert session.report.n_rounds == 1
+
+    def test_step_streams_queries_without_workload_rounds(self, ssb_rounds):
+        database = tiny_spec().create()
+        session = TuningSession(database, create_tuner("MAB", database))
+        for workload_round in ssb_rounds:
+            session.step(workload_round.queries)
+        assert session.report.n_rounds == len(ssb_rounds)
+        assert [r.round_number for r in session.report.rounds] == [1, 2, 3, 4]
+        assert session.report.rounds[-1].configuration_size >= 1
+
+    def test_out_of_order_calls_raise(self, ssb_rounds):
+        database = tiny_spec().create()
+        session = TuningSession(database, create_tuner("NoIndex", database))
+        with pytest.raises(RuntimeError, match="expected recommend"):
+            session.execute(ssb_rounds[0].queries)
+        session.recommend()
+        with pytest.raises(RuntimeError, match="expected execute"):
+            session.observe()
+        with pytest.raises(RuntimeError, match="expected execute"):
+            session.recommend()
+        session.execute(ssb_rounds[0].queries)
+        with pytest.raises(RuntimeError, match="expected observe"):
+            session.execute(ssb_rounds[0].queries)
+        session.observe()
+
+    def test_options_callbacks_and_results(self, ssb_rounds):
+        database = tiny_spec().create()
+        seen = []
+        options = SimulationOptions(
+            benchmark_name="ssb",
+            keep_results=True,
+            on_round=lambda report, results: seen.append(report.round_number),
+        )
+        session = TuningSession(database, create_tuner("NoIndex", database), options)
+        for workload_round in ssb_rounds[:2]:
+            session.step_workload_round(workload_round)
+        assert seen == [1, 2]
+        assert len(session.results_by_round) == 2
+        assert session.trace.report is session.report
+
+
+# --------------------------------------------------------------------- #
+# parity with the pre-refactor batch driver
+# --------------------------------------------------------------------- #
+def seed_protocol_reference(database, tuner, workload_rounds, options):
+    """A verbatim replica of the pre-refactor ``run_simulation`` loop.
+
+    Kept here as the parity oracle: the session-based driver must charge the
+    exact same model-costs and produce the exact same configurations.
+    """
+    planner = Planner(database)
+    executor = Executor(database, noise_sigma=options.noise_sigma, seed=options.executor_seed)
+    rows = []
+    for workload_round in workload_rounds:
+        training = (
+            workload_round.pdtool_training_queries if workload_round.invoke_pdtool else None
+        )
+        recommendation = tuner.recommend(
+            workload_round.round_number, training_queries=training
+        )
+        change = database.apply_configuration(recommendation.configuration)
+        results = []
+        execution_seconds = 0.0
+        for query in workload_round.queries:
+            plan = planner.plan(query)
+            result = executor.execute(plan)
+            results.append(result)
+            execution_seconds += result.total_seconds
+        tuner.observe(
+            workload_round.round_number, workload_round.queries, results, change
+        )
+        rows.append(
+            {
+                "round": workload_round.round_number,
+                "creation": change.creation_seconds + change.drop_seconds,
+                "execution": execution_seconds,
+                "configuration": sorted(ix.index_id for ix in database.materialised_indexes),
+                "bytes": database.used_index_bytes,
+            }
+        )
+    return rows
+
+
+class TestRunSimulationParity:
+    def test_mab_tpch_quick_parity_with_seed_protocol(self):
+        """Acceptance: the session-based ``run_simulation`` reproduces the seed
+        driver's per-round model times and configurations for MAB on TPC-H
+        quick settings."""
+        settings = ExperimentSettings.quick().with_overrides(
+            scale_factor=1.0, sample_rows=500, static_rounds=6
+        )
+        benchmark = get_benchmark("tpch")
+        database_spec = settings.database_spec("tpch")
+        rounds = build_workload_rounds(
+            benchmark, database_spec.create(), "static", settings
+        )
+        options = SimulationOptions(
+            noise_sigma=settings.noise_sigma, benchmark_name="tpch"
+        )
+
+        # Reference: the seed protocol, inlined above.
+        ref_database = database_spec.create()
+        ref_rows = seed_protocol_reference(
+            ref_database, create_tuner("MAB", ref_database), rounds, options
+        )
+
+        # Candidate: the session-based driver.
+        database = database_spec.create()
+        configurations = []
+        options.on_round = lambda report, results: configurations.append(
+            sorted(ix.index_id for ix in database.materialised_indexes)
+        )
+        trace = run_simulation(database, create_tuner("MAB", database), rounds, options)
+
+        assert trace.report.n_rounds == len(ref_rows)
+        for round_report, ref, configuration in zip(
+            trace.report.rounds, ref_rows, configurations
+        ):
+            assert round_report.round_number == ref["round"]
+            assert round_report.creation_seconds == ref["creation"]
+            assert round_report.execution_seconds == ref["execution"]
+            assert round_report.configuration_bytes == ref["bytes"]
+            assert configuration == ref["configuration"]
+        # the bandit actually did something
+        assert trace.report.total_creation_seconds > 0
+        assert trace.report.rounds[-1].configuration_size >= 1
+
+
+# --------------------------------------------------------------------- #
+# competitions: parallel == sequential
+# --------------------------------------------------------------------- #
+class TestRunCompetition:
+    ENTRIES = ("NoIndex", "MAB", "PDTool")
+
+    def _reports(self, ssb_rounds, workers):
+        spec = tiny_spec()
+        return run_competition(
+            spec,
+            {name: name for name in self.ENTRIES},
+            ssb_rounds,
+            SimulationOptions(benchmark_name="ssb"),
+            workers=workers,
+        )
+
+    def test_parallel_matches_sequential(self, ssb_rounds):
+        sequential = self._reports(ssb_rounds, workers=1)
+        parallel = self._reports(ssb_rounds, workers=3)
+        assert list(sequential) == list(self.ENTRIES)
+        assert list(parallel) == list(self.ENTRIES)
+        for label in self.ENTRIES:
+            a, b = sequential[label], parallel[label]
+            assert a.tuner_name == b.tuner_name == label
+            assert [r.creation_seconds for r in a.rounds] == [
+                r.creation_seconds for r in b.rounds
+            ]
+            assert [r.execution_seconds for r in a.rounds] == [
+                r.execution_seconds for r in b.rounds
+            ]
+            assert [r.configuration_bytes for r in a.rounds] == [
+                r.configuration_bytes for r in b.rounds
+            ]
+
+    def test_on_round_callback_rejected_in_parallel(self, ssb_rounds):
+        options = SimulationOptions(on_round=lambda report, results: None)
+        with pytest.raises(ValueError, match="on_round"):
+            run_competition(
+                tiny_spec(), {"NoIndex": "NoIndex", "MAB": "MAB"}, ssb_rounds,
+                options, workers=2,
+            )
+
+    def test_callable_entries_still_work_sequentially(self, ssb_rounds):
+        from repro.baselines import NoIndexTuner
+
+        reports = run_competition(
+            tiny_spec(),
+            {"custom": lambda database: NoIndexTuner()},
+            ssb_rounds[:2],
+            workers=1,
+        )
+        assert reports["custom"].tuner_name == "custom"
+        assert reports["custom"].n_rounds == 2
+
+
+# --------------------------------------------------------------------- #
+# Tuner.reset(): rerun from round 0 is bit-identical to a fresh tuner
+# --------------------------------------------------------------------- #
+class TestResetBitIdentity:
+    @pytest.mark.parametrize("name", ["NoIndex", "MAB", "PDTool", "DDQN", "DDQN_SC"])
+    def test_reset_rerun_matches_fresh_run(self, name, ssb_rounds):
+        database = tiny_spec().create()
+        tuner = create_tuner(name, database, TunerSpec("ssb", "static"))
+        session = TuningSession(
+            database, tuner, SimulationOptions(benchmark_name="ssb")
+        )
+        for workload_round in ssb_rounds:
+            session.step_workload_round(workload_round)
+        fresh = session.report
+
+        # Reset everything (tuner state, materialised indexes, executor noise
+        # stream) and replay the identical workload.
+        session.reset()
+        assert database.materialised_indexes == []
+        for workload_round in ssb_rounds:
+            session.step_workload_round(workload_round)
+        replay = session.report
+
+        assert replay.n_rounds == fresh.n_rounds
+        for a, b in zip(fresh.rounds, replay.rounds):
+            assert a.round_number == b.round_number
+            assert a.creation_seconds == b.creation_seconds
+            assert a.execution_seconds == b.execution_seconds
+            assert a.configuration_size == b.configuration_size
+            assert a.configuration_bytes == b.configuration_bytes
+            assert a.indexes_created == b.indexes_created
+            assert a.indexes_dropped == b.indexes_dropped

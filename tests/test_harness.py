@@ -160,6 +160,7 @@ class TestSimulation:
 
 class TestExperiments:
     def test_make_tuner_names(self, tiny_database):
+        # make_tuner is a deprecated shim over repro.api.create_tuner.
         for name, expected in [
             ("NoIndex", "NoIndex"),
             ("MAB", "MAB"),
@@ -167,9 +168,13 @@ class TestExperiments:
             ("DDQN", "DDQN"),
             ("DDQN_SC", "DDQN_SC"),
         ]:
-            assert make_tuner(name, tiny_database).name == expected
-        with pytest.raises(KeyError):
-            make_tuner("unknown", tiny_database)
+            with pytest.warns(DeprecationWarning):
+                assert make_tuner(name, tiny_database).name == expected
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(KeyError, match="registered tuners"):
+                make_tuner("unknown", tiny_database)
+            with pytest.raises(ValueError, match="registered tuners"):
+                make_tuner("unknown", tiny_database)
 
     def test_settings_quick_and_overrides(self):
         settings = ExperimentSettings.quick()
