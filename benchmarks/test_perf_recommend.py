@@ -25,7 +25,9 @@ import time
 import numpy as np
 
 from repro.api import DatabaseSpec, SimulationOptions, TuningSession, create_tuner
+from repro.core.arms import Arm, shard_arms
 from repro.core.linear_bandit import C2UCB
+from repro.engine.indexes import IndexDefinition
 from repro.workloads import StaticWorkload, get_benchmark
 
 from conftest import write_result
@@ -142,6 +144,125 @@ def test_recommend_loop_perf(results_dir):
         assert speedup >= SPEEDUP_FLOOR, (
             f"incremental recommend loop only {speedup:.1f}x faster than the "
             f"seed implementation at 500 arms (floor {SPEEDUP_FLOOR}x)"
+        )
+
+
+# --------------------------------------------------------------------- #
+# sharded scoring (the critical path of a partitioned scoring pass)
+# --------------------------------------------------------------------- #
+SHARD_SIZE = 125
+SHARDED_ARM_COUNTS = (500, 1000, 2000)
+SHARDED_ROUNDS = 20 if SMOKE_MODE else 80
+#: Full-mode bar: with a fixed shard size, the per-shard critical path must
+#: stay (roughly) flat as the total pool quadruples from 500 to 2000 arms.
+MAX_SHARD_GROWTH_CEILING = 3.0
+#: Generous absolute smoke ceiling on the per-shard critical path.
+SMOKE_MAX_SHARD_P95_CEILING_SECONDS = 0.025
+
+
+def build_sharded_pool(n_arms: int) -> tuple[list[Arm], list]:
+    """A synthetic arm pool of ``n_arms // SHARD_SIZE`` equal table shards."""
+    arms = [
+        Arm(index=IndexDefinition(f"t{position // SHARD_SIZE}", (f"c{position}",)))
+        for position in range(n_arms)
+    ]
+    return arms, shard_arms(arms, shard_by="table")
+
+
+def run_sharded_loop(n_arms: int, rounds: int, seed: int = 5):
+    """Drive the sharded steady-state scoring loop with a global learner.
+
+    Per round: freeze one ``LinearScorer`` snapshot, score every shard's
+    context slice independently (recording each shard's latency — the max is
+    the critical path a per-shard parallel pass would pay), then apply the
+    round's rank-k update to the single global ``V⁻¹``, exactly as
+    ``MabTuner`` does in shard mode.
+    """
+    _, shards = build_sharded_pool(n_arms)
+    rng = np.random.default_rng(seed)
+    contexts_by_shard = [
+        rng.normal(size=(len(shard), DIMENSION)) for shard in shards
+    ]
+    all_contexts = np.vstack(contexts_by_shard)
+    bandit = C2UCB(dimension=DIMENSION)
+    total_latencies, max_shard_latencies = [], []
+    for round_number in range(WARMUP_ROUNDS + rounds):
+        round_started = time.perf_counter()
+        scorer = bandit.scorer()
+        shard_seconds = []
+        top_scores = []
+        for contexts in contexts_by_shard:
+            shard_started = time.perf_counter()
+            scores = scorer.upper_confidence_scores(contexts, alpha=1.0)
+            keep = min(SUPER_ARM_SIZE, len(scores))
+            top_scores.append(np.argpartition(scores, -keep)[-keep:])
+            shard_seconds.append(time.perf_counter() - shard_started)
+        chosen = rng.choice(n_arms, size=SUPER_ARM_SIZE, replace=False)
+        bandit.update(all_contexts[chosen], rng.normal(size=SUPER_ARM_SIZE))
+        if round_number >= WARMUP_ROUNDS:
+            total_latencies.append(time.perf_counter() - round_started)
+            max_shard_latencies.append(max(shard_seconds))
+    return np.asarray(total_latencies), np.asarray(max_shard_latencies), len(shards)
+
+
+def test_recommend_sharded_perf(results_dir):
+    """Emit the ``recommend_sharded`` series: scoring cost vs shard size.
+
+    With the shard size pinned at ``SHARD_SIZE`` arms, growing the pool adds
+    shards, not shard width — so the per-shard critical path (``max_shard``)
+    must stay flat while the monolithic pass (``full_pool``) grows with the
+    total arm count.  That flat line is what per-shard parallelism converts
+    into wall-clock at large schemas.
+    """
+    series: dict[str, dict] = {}
+    for n_arms in SHARDED_ARM_COUNTS:
+        full = run_recommend_loop(C2UCB(dimension=DIMENSION), n_arms, SHARDED_ROUNDS)
+        totals, max_shard, n_shards = run_sharded_loop(n_arms, SHARDED_ROUNDS)
+        series[str(n_arms)] = {
+            "n_shards": n_shards,
+            "shard_size": SHARD_SIZE,
+            "full_pool": summarise(full),
+            "sharded_total": summarise(totals),
+            "max_shard": summarise(max_shard),
+        }
+
+    path = results_dir / "BENCH_recommend.json"
+    payload = json.loads(path.read_text()) if path.exists() else {}
+    payload["recommend_sharded"] = {
+        "rounds": SHARDED_ROUNDS,
+        "smoke_mode": SMOKE_MODE,
+        "series": series,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        f"sharded scoring (d={DIMENSION}, shard_size={SHARD_SIZE}, smoke={SMOKE_MODE})"
+    ]
+    for n_arms in SHARDED_ARM_COUNTS:
+        entry = series[str(n_arms)]
+        lines.append(
+            f"  {n_arms:>5} arms / {entry['n_shards']:>2} shards: "
+            f"full-pool p50 {entry['full_pool']['p50_ms']:.3f} ms, "
+            f"sharded total p50 {entry['sharded_total']['p50_ms']:.3f} ms, "
+            f"max-shard p50 {entry['max_shard']['p50_ms']:.3f} ms"
+        )
+    write_result(results_dir, "BENCH_recommend_sharded", "\n".join(lines))
+
+    if SMOKE_MODE:
+        max_shard_p95 = series["500"]["max_shard"]["p95_ms"] / 1e3
+        assert max_shard_p95 < SMOKE_MAX_SHARD_P95_CEILING_SECONDS, (
+            f"per-shard scoring critical path regressed: p95 "
+            f"{max_shard_p95 * 1e3:.2f} ms at 500 arms "
+            f"(ceiling {SMOKE_MAX_SHARD_P95_CEILING_SECONDS * 1e3:.0f} ms)"
+        )
+    else:
+        at_500 = series["500"]["max_shard"]["p50_ms"]
+        at_2000 = series["2000"]["max_shard"]["p50_ms"]
+        growth = at_2000 / at_500
+        assert growth < MAX_SHARD_GROWTH_CEILING, (
+            f"per-shard scoring cost grew {growth:.2f}x while the pool grew 4x "
+            f"at a fixed shard size — sharding no longer bounds the critical "
+            f"path (ceiling {MAX_SHARD_GROWTH_CEILING}x)"
         )
 
 

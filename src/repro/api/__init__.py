@@ -7,7 +7,9 @@ Everything a downstream caller needs lives here:
   :class:`TunerSpec`, :func:`registered_tuner_names`;
 * session-based tuning — :class:`TuningSession` with its explicit
   ``recommend() / execute(queries) / observe()`` cycle and one-shot
-  ``step(queries)``, for callers streaming their own workload;
+  ``step(queries)``, for callers streaming their own workload
+  (``SimulationOptions(shard_by="table")`` turns on sharded arm-pool
+  scoring for pool-scoring tuners);
 * batch drivers — :func:`run_simulation` over pre-materialised workload
   rounds and :func:`run_competition` racing several tuners (optionally
   across processes) with deterministic report merging;

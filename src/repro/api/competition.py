@@ -104,13 +104,28 @@ def run_competition(
 ) -> dict[str, RunReport]:
     """Run several tuners over the *same* workload, each on a fresh database.
 
-    ``database_factory`` must build identically seeded databases so that every
-    tuner faces the same data; ``workload_rounds`` should have been
-    materialised once (against any of those identical databases).  ``tuners``
-    maps report labels to competition entries.  ``workers > 1`` fans the
-    sessions out across that many processes (``workers=0`` uses every CPU);
-    the result is keyed and ordered by ``tuners`` regardless of completion
-    order, so parallel and sequential runs merge identically.
+    Args:
+        database_factory: Builds identically seeded databases so that every
+            tuner faces the same data; must be picklable (e.g. a
+            :class:`DatabaseSpec`) when ``workers > 1``.
+        tuners: Report labels mapped to competition entries — a registry
+            name, a ``(name, TunerSpec)`` pair, or (sequential runs only) a
+            raw ``Callable[[Database], Tuner]``.
+        workload_rounds: The shared workload, materialised once (against any
+            of those identical databases).
+        options: Execution-layer options applied to every session.
+        workers: ``> 1`` fans the sessions out across that many processes;
+            ``0`` uses every CPU; ``1`` (default) runs sequentially.
+
+    Returns:
+        ``{label: RunReport}`` keyed and ordered by ``tuners`` regardless of
+        completion order, so parallel and sequential runs merge identically.
+
+    Raises:
+        ValueError: When ``workers > 1`` is combined with any
+            ``options.on_round`` callback — per-round callbacks cannot cross
+            process boundaries.
+        repro.api.UnknownTunerError: For entry names nobody registered.
     """
     workers = _worker_count(workers, len(tuners))
     if workers <= 1:

@@ -50,7 +50,30 @@ __all__ = [
 
 @dataclass
 class SimulationOptions:
-    """Execution-layer options for one session or simulation run."""
+    """Execution-layer options for one session or simulation run.
+
+    Attributes:
+        noise_sigma: Relative noise applied to simulated execution times.
+        executor_seed: Seed of the executor's noise stream (sessions built
+            with the same options replay identically).
+        benchmark_name: Label recorded in the resulting :class:`RunReport`.
+        workload_type: Workload-regime label for the report (``static``,
+            ``shifting`` or ``random``).
+        on_round: Optional per-round callback receiving the
+            :class:`RoundReport` and the round's execution results.  Not
+            picklable across processes — incompatible with
+            ``run_competition(workers>1)``.
+        keep_results: Collect per-round execution results in the trace.
+        shard_by: Arm-pool sharding strategy forwarded to tuners that score a
+            candidate pool (``"table"`` or ``"hash"``; see
+            :attr:`repro.core.config.MabConfig.shard_by`).  ``None`` (the
+            default) leaves the tuner's own sharding configuration untouched
+            — it does not force monolithic scoring on a tuner that was built
+            with sharding enabled.  Setting it calls the tuner's
+            ``configure_sharding``, which updates the tuner's config for its
+            lifetime, not just for this session; tuners without that method
+            — NoIndex, PDTool, the DDQN agents — ignore the knob.
+    """
 
     noise_sigma: float = 0.03
     executor_seed: int = 11
@@ -60,6 +83,8 @@ class SimulationOptions:
     on_round: Callable[[RoundReport, list[ExecutionResult]], None] | None = None
     #: Collect per-round execution results in the returned trace.
     keep_results: bool = False
+    #: Arm-pool sharding strategy for pool-scoring tuners (``None`` = off).
+    shard_by: str | None = None
 
 
 @dataclass
@@ -76,7 +101,18 @@ def execute_round(
     executor: Executor,
     queries: list[Query],
 ) -> tuple[list[ExecutionResult], float]:
-    """Plan and execute one round's queries under the materialised configuration."""
+    """Plan and execute one round's queries under the materialised configuration.
+
+    Args:
+        database: The database whose current configuration the plans use.
+        planner: Access-path planner bound to ``database``.
+        executor: Executor bound to ``database`` (owns the noise stream).
+        queries: The round's queries, executed in order.
+
+    Returns:
+        ``(results, total_seconds)`` — one :class:`ExecutionResult` per query
+        and the summed model execution time.
+    """
     results: list[ExecutionResult] = []
     total_seconds = 0.0
     for query in queries:
@@ -103,9 +139,28 @@ class TuningSession:
         tuner: Tuner,
         options: SimulationOptions | None = None,
     ):
+        """Wire one tuner to one database.
+
+        Args:
+            database: The database the session tunes (the session owns its
+                configuration from here on).
+            tuner: Any :class:`~repro.interface.Tuner`; when
+                ``options.shard_by`` is set and the tuner exposes
+                ``configure_sharding`` (the MAB tuner does), sharded arm-pool
+                scoring is enabled on the tuner before the first round (a
+                lasting config change; ``options.shard_by=None`` leaves the
+                tuner's current sharding mode as-is).
+            options: Execution-layer options; defaults are the paper's.
+
+        Raises:
+            ValueError: If ``options.shard_by`` names an unknown strategy
+                (propagated from the tuner's config validation).
+        """
         self.database = database
         self.tuner = tuner
         self.options = options or SimulationOptions()
+        if self.options.shard_by is not None and hasattr(tuner, "configure_sharding"):
+            tuner.configure_sharding(self.options.shard_by)
         self.planner = Planner(database)
         self.executor = Executor(
             database,
@@ -145,9 +200,19 @@ class TuningSession:
     ) -> Recommendation:
         """Start a round: the tuner proposes the configuration to materialise.
 
-        ``training_queries`` is only passed on rounds where the experiment
-        protocol invokes an offline tool (PDTool); ``round_number`` overrides
-        the session's running counter (defaults to the next round).
+        Args:
+            training_queries: Only passed on rounds where the experiment
+                protocol invokes an offline tool (PDTool); online tuners
+                ignore it.
+            round_number: Overrides the session's running counter (defaults
+                to the next round).
+
+        Returns:
+            The tuner's :class:`~repro.interface.Recommendation`; the
+            configuration is materialised by the following :meth:`execute`.
+
+        Raises:
+            RuntimeError: If the session is not in the ``recommend`` phase.
         """
         self._require_phase("recommend")
         self.round_number = (
@@ -162,7 +227,19 @@ class TuningSession:
         return self._recommendation
 
     def execute(self, queries: list[Query]) -> list[ExecutionResult]:
-        """Materialise the pending recommendation, then run the round's queries."""
+        """Materialise the pending recommendation, then run the round's queries.
+
+        Args:
+            queries: The round's workload — any query batch the caller
+                produces (a live stream works; nothing is pre-materialised).
+
+        Returns:
+            One :class:`ExecutionResult` per query, in order.
+
+        Raises:
+            RuntimeError: If called before :meth:`recommend` (the session is
+                not in the ``execute`` phase).
+        """
         self._require_phase("execute")
         assert self._recommendation is not None
         started = time.perf_counter()
@@ -180,7 +257,21 @@ class TuningSession:
         return self._results
 
     def observe(self, is_shift_round: bool = False) -> RoundReport:
-        """Close the round: feed observations back and account its costs."""
+        """Close the round: feed observations back and account its costs.
+
+        Args:
+            is_shift_round: Marks the round as a known workload-shift
+                boundary in the report (experiment bookkeeping only; tuners
+                detect shifts themselves).
+
+        Returns:
+            The completed round's :class:`RoundReport`, also appended to
+            :attr:`report`.
+
+        Raises:
+            RuntimeError: If called before :meth:`execute` (the session is
+                not in the ``observe`` phase).
+        """
         self._require_phase("observe")
         assert self._recommendation is not None and self._change is not None
         started = time.perf_counter()
@@ -223,7 +314,18 @@ class TuningSession:
         is_shift_round: bool = False,
         round_number: int | None = None,
     ) -> RoundReport:
-        """One full ``recommend -> execute -> observe`` cycle."""
+        """One full ``recommend -> execute -> observe`` cycle.
+
+        Args:
+            queries: The round's workload (see :meth:`execute`).
+            training_queries: Offline-tool training workload, when the
+                protocol provides one (see :meth:`recommend`).
+            is_shift_round: Report bookkeeping (see :meth:`observe`).
+            round_number: Overrides the running round counter.
+
+        Returns:
+            The completed round's :class:`RoundReport`.
+        """
         self.recommend(training_queries, round_number=round_number)
         self.execute(queries)
         return self.observe(is_shift_round=is_shift_round)
@@ -288,6 +390,20 @@ def run_simulation(
     A thin loop over :class:`TuningSession` — kept as the batch entry point
     for pre-materialised workloads and pinned by a parity test to reproduce
     the original driver's reports exactly.
+
+    Args:
+        database: The database to tune (typically built by a
+            :class:`~repro.api.DatabaseSpec`).
+        tuner: Any :class:`~repro.interface.Tuner` (see
+            :func:`repro.api.create_tuner`).
+        workload_rounds: Pre-materialised rounds (see
+            :func:`repro.harness.build_workload_rounds` or the workload
+            generators in :mod:`repro.workloads`).
+        options: Execution-layer options (noise, seeds, labels, sharding).
+
+    Returns:
+        A :class:`SimulationTrace` with the run's :class:`RunReport` (and
+        per-round results when ``options.keep_results`` is set).
     """
     session = TuningSession(database, tuner, options)
     for workload_round in workload_rounds:

@@ -49,6 +49,18 @@ class MabConfig:
     #: 1.0 reproduces the paper's reward exactly.
     creation_cost_weight: float = 1.0
 
+    #: Arm-pool sharding strategy for the scoring pass: ``None`` scores the
+    #: whole pool monolithically, ``"table"`` partitions arms by the table
+    #: they index (cross-table arms fall back to hash placement) and
+    #: ``"hash"`` spreads them over :attr:`n_hash_shards` stable-hash buckets.
+    #: Sharding partitions *scoring only* — the C²UCB state stays global.
+    shard_by: str | None = None
+    #: Bucket count for ``"hash"`` sharding (and the cross-table fallback).
+    n_hash_shards: int = 8
+    #: Candidates each shard forwards to the knapsack oracle (its local
+    #: top-k by score); ``None`` forwards every arm (exact merge).
+    shard_top_k: int | None = 16
+
     #: Random seed for tie-breaking.
     seed: int = 17
 
@@ -67,6 +79,14 @@ class MabConfig:
             raise ValueError("forgetting_factor must be in [0, 1]")
         if not 0 <= self.shift_detection_threshold <= 1:
             raise ValueError("shift_detection_threshold must be in [0, 1]")
+        if self.shard_by is not None and self.shard_by not in ("table", "hash"):
+            raise ValueError(
+                f"shard_by must be None, 'table' or 'hash', got {self.shard_by!r}"
+            )
+        if self.n_hash_shards < 1:
+            raise ValueError("n_hash_shards must be at least 1")
+        if self.shard_top_k is not None and self.shard_top_k < 1:
+            raise ValueError("shard_top_k must be at least 1 (or None)")
 
     def alpha_at(self, round_number: int) -> float:
         """Exploration boost used in the given (1-based) round."""

@@ -31,6 +31,66 @@ from __future__ import annotations
 import numpy as np
 
 
+class LinearScorer:
+    """A frozen, read-only scoring snapshot of a :class:`C2UCB` learner.
+
+    Captures ``theta`` and ``V⁻¹`` once so that many scoring calls — one per
+    :class:`~repro.core.arms.ArmShard`, possibly from parallel workers — share
+    the exact arrays a monolithic scoring pass would use, without re-checking
+    the learner's lazy caches per call and without any risk of an interleaved
+    update shifting the numbers mid-round.  The snapshot does not copy: the
+    learner replaces (never mutates) its arrays on update, so the captured
+    references stay internally consistent for the lifetime of the round.
+
+    Instances are cheap to create (two attribute reads) and safe to share
+    across threads; they cannot observe rewards — updates go through the
+    owning :class:`C2UCB`.
+    """
+
+    __slots__ = ("theta", "v_inverse", "dimension")
+
+    def __init__(self, theta: np.ndarray, v_inverse: np.ndarray):
+        self.theta = theta
+        self.v_inverse = v_inverse
+        self.dimension = len(theta)
+
+    def expected_rewards(self, contexts: np.ndarray) -> np.ndarray:
+        """Point estimates ``theta' x_i`` for each context row."""
+        return contexts @ self.theta
+
+    def exploration_bonus(self, contexts: np.ndarray) -> np.ndarray:
+        """Confidence widths ``sqrt(x' V^{-1} x)`` for each context row."""
+        widths = np.einsum("ij,ij->i", contexts @ self.v_inverse, contexts)
+        return np.sqrt(np.maximum(widths, 0.0))
+
+    def upper_confidence_scores(self, contexts: np.ndarray, alpha: float) -> np.ndarray:
+        """UCB scores under the frozen snapshot.
+
+        Args:
+            contexts: ``(k, dimension)`` context matrix (one row per arm).
+            alpha: Non-negative exploration boost.
+
+        Returns:
+            Per-row scores, identical to what the owning learner's
+            :meth:`C2UCB.upper_confidence_scores` would return for the same
+            rows at snapshot time.
+
+        Raises:
+            ValueError: If ``alpha`` is negative or the context width does
+                not match the snapshot dimension.
+        """
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        contexts = np.asarray(contexts, dtype=float)
+        if contexts.ndim == 1:
+            contexts = contexts.reshape(1, -1)
+        if contexts.ndim != 2 or contexts.shape[1] != self.dimension:
+            raise ValueError(
+                f"contexts must have shape (k, {self.dimension}), got {contexts.shape}"
+            )
+        return self.expected_rewards(contexts) + alpha * self.exploration_bonus(contexts)
+
+
 class C2UCB:
     """Contextual combinatorial UCB with a shared linear reward model."""
 
@@ -128,6 +188,17 @@ class C2UCB:
             raise ValueError("alpha must be non-negative")
         contexts = self._validate_contexts(contexts)
         return self.expected_rewards(contexts) + alpha * self.exploration_bonus(contexts)
+
+    def scorer(self) -> "LinearScorer":
+        """Freeze the current ``theta`` and ``V⁻¹`` into a :class:`LinearScorer`.
+
+        The snapshot scores arbitrary context batches — e.g. one per arm
+        shard — with bit-identical math to :meth:`upper_confidence_scores`,
+        while keeping all learning (and the Sherman–Morrison ``V⁻¹``
+        maintenance) on this learner.  Sharding partitions *scoring*, never
+        the bandit state.
+        """
+        return LinearScorer(self.theta(), self._inverse())
 
     # ------------------------------------------------------------------ #
     # updates

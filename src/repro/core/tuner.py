@@ -20,6 +20,7 @@ execution statistics, which is the paper's central design decision.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 
 import numpy as np
@@ -31,13 +32,31 @@ from repro.engine.indexes import IndexDefinition
 from repro.engine.query import Query
 from repro.interface import Recommendation, Tuner
 
-from .arms import Arm, ArmGenerator
+from .arms import Arm, ArmGenerator, shard_arms
 from .config import MabConfig
 from .context import ContextBuilder
 from .linear_bandit import C2UCB
-from .oracle import GreedyOracle, ScoredArm
+from .oracle import GreedyOracle, ScoredArm, merge_shard_candidates
 from .query_store import QueryStore
 from .rewards import compute_round_rewards
+
+
+#: Sentinel distinguishing "argument omitted" from an explicit ``None``.
+_UNSET: "int | None" = object()  # type: ignore[assignment]
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardScoreStats:
+    """Diagnostics of one sharded scoring pass (``MabTuner.last_shard_stats``)."""
+
+    #: Arms in the round's pool before sharding.
+    n_arms: int
+    #: Non-empty shards the pool split into.
+    n_shards: int
+    #: Size of the largest shard — the critical path of a parallel scoring pass.
+    max_shard_size: int
+    #: Merged survivors handed to the knapsack oracle after the per-shard top-k cut.
+    n_candidates: int
 
 
 @register_tuner("MAB")
@@ -65,10 +84,13 @@ class MabTuner(Tuner):
         #: All arms ever generated, keyed by index id (keeps usage statistics).
         self.known_arms: dict[str, Arm] = {}
         #: Selection made by the latest ``recommend`` call, consumed by ``observe``.
-        self._pending_selection: list[tuple[Arm, "list[float]"]] = []
+        self._pending_selection: list[tuple[Arm, np.ndarray]] = []
         #: Diagnostics for reporting and tests.
         self.shift_events: list[int] = []
         self.rounds_recommended = 0
+        #: Diagnostics of the latest sharded scoring pass (``None`` while the
+        #: pool is scored monolithically or before the first recommendation).
+        self.last_shard_stats: ShardScoreStats | None = None
 
     # ------------------------------------------------------------------ #
     # Tuner interface
@@ -78,6 +100,21 @@ class MabTuner(Tuner):
         round_number: int,
         training_queries: list[Query] | None = None,
     ) -> Recommendation:
+        """Propose the index configuration for the upcoming (unseen) round.
+
+        Args:
+            round_number: 1-based round counter (drives the QoI window and the
+                exploration-boost decay).
+            training_queries: Ignored — the bandit never receives a training
+                workload; the argument exists only to satisfy the shared
+                :class:`~repro.interface.Tuner` protocol.
+
+        Returns:
+            A :class:`~repro.interface.Recommendation` whose configuration is
+            the selected super arm (or the currently materialised indexes when
+            there are no queries of interest), with the wall-clock cost of the
+            call charged as recommendation time.
+        """
         del training_queries  # the bandit never receives a training workload
         started = time.perf_counter()
         self.rounds_recommended += 1
@@ -98,32 +135,145 @@ class MabTuner(Tuner):
             )
 
         arms = self._refresh_arms(queries_of_interest, round_number)
-        contexts = self.context_builder.build_matrix(arms, queries_of_interest, self.database)
         alpha = self.config.alpha_at(round_number)
-        scores = self.bandit.upper_confidence_scores(contexts, alpha)
-        scores = scores + self.bandit.tie_break(len(scores))
-
-        scored_arms = [
-            ScoredArm(
-                arm=arm,
-                score=float(score),
-                size_bytes=self.database.index_size_bytes(arm.index),
+        if self.config.shard_by is None:
+            candidates, context_rows = self._score_pool(
+                arms, queries_of_interest, alpha
             )
-            for arm, score in zip(arms, scores)
+        else:
+            candidates, context_rows = self._score_sharded(
+                arms, queries_of_interest, alpha
+            )
+        selection = self.oracle.select(candidates, self.database.memory_budget_bytes)
+
+        self._pending_selection = [
+            (scored.arm, context_rows[scored.arm.index_id])
+            for scored in selection.selected
         ]
-        selection = self.oracle.select(scored_arms, self.database.memory_budget_bytes)
-
-        self._pending_selection = []
-        position_by_id = {arm.index_id: position for position, arm in enumerate(arms)}
-        for scored in selection.selected:
-            position = position_by_id[scored.arm.index_id]
-            self._pending_selection.append((scored.arm, contexts[position]))
-
         configuration = [scored.arm.index for scored in selection.selected]
         return Recommendation(
             configuration=configuration,
             recommendation_seconds=time.perf_counter() - started,
         )
+
+    # ------------------------------------------------------------------ #
+    # scoring (monolithic and sharded)
+    # ------------------------------------------------------------------ #
+    def _score_pool(
+        self,
+        arms: list[Arm],
+        queries: list[Query],
+        alpha: float,
+    ) -> tuple[list[ScoredArm], dict[str, np.ndarray]]:
+        """Score the whole arm pool in one pass.
+
+        Returns the scored candidates (pool order) and each arm's context row
+        keyed by index id, for the reward attribution in :meth:`observe`.
+        """
+        contexts = self.context_builder.build_matrix(arms, queries, self.database)
+        scores = self.bandit.upper_confidence_scores(contexts, alpha)
+        scores = scores + self.bandit.tie_break(len(scores))
+        candidates = [
+            ScoredArm(
+                arm=arm,
+                score=float(score),
+                size_bytes=self.database.index_size_bytes(arm.index),
+                position=position,
+            )
+            for position, (arm, score) in enumerate(zip(arms, scores))
+        ]
+        context_rows = {arm.index_id: contexts[i] for i, arm in enumerate(arms)}
+        self.last_shard_stats = None
+        return candidates, context_rows
+
+    def _score_sharded(
+        self,
+        arms: list[Arm],
+        queries: list[Query],
+        alpha: float,
+    ) -> tuple[list[ScoredArm], dict[str, np.ndarray]]:
+        """Score the arm pool shard by shard and merge the local winners.
+
+        The pool is partitioned with :func:`~repro.core.arms.shard_arms`
+        (strategy :attr:`MabConfig.shard_by`); every shard builds its own
+        slice of the context matrix and is scored independently against one
+        frozen :class:`~repro.core.linear_bandit.LinearScorer` snapshot, so
+        the per-shard passes share no mutable state and are ready to fan out
+        across threads.  Only each shard's top
+        :attr:`MabConfig.shard_top_k` candidates reach the knapsack oracle.
+
+        Determinism: the tie-break jitter is drawn once for the whole pool
+        (same rng consumption as the monolithic pass) and sliced per shard,
+        and the merged survivors are restored to pool order — so at matched
+        seeds the sharded pass selects the same configuration as the
+        monolithic one whenever the top-k cut keeps the oracle's picks
+        (guaranteed for ``shard_top_k=None``).
+        """
+        shards = shard_arms(arms, self.config.shard_by, self.config.n_hash_shards)
+        predicate_columns = self.context_builder.predicate_columns(queries)
+        jitter = self.bandit.tie_break(len(arms))
+        scorer = self.bandit.scorer()
+
+        candidates_by_shard: list[list[ScoredArm]] = []
+        context_rows: dict[str, np.ndarray] = {}
+        for shard in shards:
+            contexts = self.context_builder.build_matrix(
+                shard.arms,
+                queries,
+                self.database,
+                predicate_columns=predicate_columns,
+            )
+            scores = scorer.upper_confidence_scores(contexts, alpha)
+            shard_candidates = []
+            for row, (arm, position) in enumerate(zip(shard.arms, shard.positions)):
+                context_rows[arm.index_id] = contexts[row]
+                shard_candidates.append(
+                    ScoredArm(
+                        arm=arm,
+                        score=float(scores[row] + jitter[position]),
+                        size_bytes=self.database.index_size_bytes(arm.index),
+                        position=position,
+                    )
+                )
+            candidates_by_shard.append(shard_candidates)
+
+        merged = merge_shard_candidates(candidates_by_shard, self.config.shard_top_k)
+        self.last_shard_stats = ShardScoreStats(
+            n_arms=len(arms),
+            n_shards=len(shards),
+            max_shard_size=max((len(shard) for shard in shards), default=0),
+            n_candidates=len(merged),
+        )
+        return merged, context_rows
+
+    def configure_sharding(
+        self,
+        shard_by: str | None,
+        *,
+        shard_top_k: "int | None" = _UNSET,
+        n_hash_shards: int | None = None,
+    ) -> None:
+        """Switch the scoring pass between monolithic and sharded modes.
+
+        Args:
+            shard_by: ``None`` (monolithic), ``"table"`` or ``"hash"``.
+            shard_top_k: Per-shard candidate cut forwarded to the oracle;
+                pass ``None`` for an exact (selection-preserving) merge.
+                Left unchanged when omitted.
+            n_hash_shards: Bucket count for hash placement.  Left unchanged
+                when omitted.
+
+        Raises:
+            ValueError: If any value fails :class:`MabConfig` validation.
+        """
+        updates: dict[str, object] = {"shard_by": shard_by}
+        if shard_top_k is not _UNSET:
+            updates["shard_top_k"] = shard_top_k
+        if n_hash_shards is not None:
+            updates["n_hash_shards"] = n_hash_shards
+        # replace() re-runs __post_init__, so invalid values are rejected
+        # before they can affect a live tuner.
+        self.config = dataclasses.replace(self.config, **updates)
 
     def observe(
         self,
@@ -132,6 +282,19 @@ class MabTuner(Tuner):
         results: list[ExecutionResult],
         change: ConfigurationChange,
     ) -> None:
+        """Close a round: shape rewards and update the (global) bandit state.
+
+        Args:
+            round_number: The round that just executed.
+            queries: The queries that ran in the round.
+            results: Their observed execution statistics (same order).
+            change: The configuration change applied before execution, with
+                per-index creation times.
+
+        The C²UCB update — including the Sherman–Morrison/Woodbury ``V⁻¹``
+        maintenance — always runs against the single shared learner; shard
+        mode never splits the bandit state.
+        """
         summary = self.query_store.add_round(queries, round_number)
         if (
             round_number > 1
@@ -193,6 +356,13 @@ class MabTuner(Tuner):
                     self._reward_scale_seconds = access.full_scan_seconds
 
     def reset(self) -> None:
+        """Forget all learned state; a reset tuner replays bit-identically.
+
+        Clears the bandit (weights, scatter matrix, tie-break rng), the query
+        store, the arm registry and all diagnostics.  The sharding
+        configuration is *kept* — it describes how to score, not what was
+        learned.
+        """
         self.bandit.reset()
         self.query_store.clear()
         self.known_arms.clear()
@@ -200,12 +370,18 @@ class MabTuner(Tuner):
         self.shift_events = []
         self.rounds_recommended = 0
         self._reward_scale_seconds = 1.0
+        self.last_shard_stats = None
 
     # ------------------------------------------------------------------ #
     # internals and diagnostics
     # ------------------------------------------------------------------ #
     def _refresh_arms(self, queries: list[Query], round_number: int) -> list[Arm]:
-        """Generate arms for the QoI and merge them into the persistent registry."""
+        """Generate arms for the QoI and merge them into the persistent registry.
+
+        Returns the round's arm pool in a deterministic order (generation
+        order of the merged ``{index_id: Arm}`` mapping) — the *pool order*
+        that positions, context rows and tie-break jitter are all keyed by.
+        """
         generated = self.arm_generator.generate(queries)
         arms: list[Arm] = []
         for index_id, fresh in generated.items():

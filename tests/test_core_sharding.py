@@ -1,0 +1,356 @@
+"""Sharded arm-pool scoring: partitioning, merge semantics and parity.
+
+The load-bearing guarantee is *selection parity*: at matched seeds a sharded
+scoring pass must recommend the same configuration per round as the
+monolithic pass, because sharding partitions scoring only — the C²UCB state
+(theta, V⁻¹ and its Sherman–Morrison maintenance) stays global, the tie-break
+jitter is drawn once for the whole pool, and the per-shard top-k cut always
+keeps every arm the greedy oracle could select (the per-group Pareto
+frontiers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Arm,
+    MabConfig,
+    MabTuner,
+    ScoredArm,
+    merge_shard_candidates,
+    shard_arms,
+    shard_key_for,
+)
+from repro.engine import IndexDefinition
+from repro.api import SimulationOptions, TuningSession, create_tuner
+from repro.workloads import StaticWorkload, get_benchmark
+
+
+def make_arm(table: str, columns: tuple[str, ...], templates: set[str] | None = None) -> Arm:
+    arm = Arm(index=IndexDefinition(table, columns))
+    if templates:
+        arm.source_templates |= templates
+    return arm
+
+
+def make_scored(
+    table: str,
+    columns: tuple[str, ...],
+    score: float,
+    size: int,
+    position: int,
+    templates: set[str] | None = None,
+) -> ScoredArm:
+    return ScoredArm(
+        arm=make_arm(table, columns, templates),
+        score=score,
+        size_bytes=size,
+        position=position,
+    )
+
+
+# --------------------------------------------------------------------- #
+# partitioning
+# --------------------------------------------------------------------- #
+class TestShardArms:
+    def test_table_sharding_groups_by_table_preserving_pool_order(self):
+        pool = [
+            make_arm("sales", ("a",)),
+            make_arm("customers", ("b",)),
+            make_arm("sales", ("c",)),
+            make_arm("customers", ("d",)),
+        ]
+        shards = shard_arms(pool, shard_by="table")
+        assert [shard.key for shard in shards] == ["table:sales", "table:customers"]
+        assert [arm.index.key_columns for arm in shards[0].arms] == [("a",), ("c",)]
+        assert shards[0].positions == [0, 2]
+        assert shards[1].positions == [1, 3]
+        # The shards partition the pool: positions are a permutation.
+        all_positions = sorted(p for shard in shards for p in shard.positions)
+        assert all_positions == list(range(len(pool)))
+
+    def test_single_table_pool_is_one_shard(self):
+        pool = [make_arm("sales", (c,)) for c in ("a", "b", "c")]
+        shards = shard_arms(pool, shard_by="table")
+        assert len(shards) == 1
+        assert len(shards[0]) == 3
+
+    def test_hash_sharding_is_deterministic_and_bounded(self):
+        pool = [make_arm("sales", (f"c{i}",)) for i in range(40)]
+        first = shard_arms(pool, shard_by="hash", n_hash_shards=4)
+        second = shard_arms(pool, shard_by="hash", n_hash_shards=4)
+        assert [s.key for s in first] == [s.key for s in second]
+        assert [s.positions for s in first] == [s.positions for s in second]
+        assert all(key.startswith("hash:") for key in (s.key for s in first))
+        assert len(first) <= 4
+        # zlib.crc32 is process-independent, so keys are stable across runs.
+        import zlib
+
+        expected = zlib.crc32(pool[0].index_id.encode("utf-8")) % 4
+        assert shard_key_for(pool[0], "hash", 4) == f"hash:{expected}"
+
+    def test_cross_table_arm_falls_back_to_hash_bucket(self):
+        plain = make_arm("sales", ("a",))
+        assert shard_key_for(plain, "table") == "table:sales"
+
+        class CrossTableIndex:
+            tables = ("sales", "customers")
+            index_id = "ix_cross"
+
+        class CrossTableArm:
+            index = CrossTableIndex()
+            index_id = "ix_cross"
+            table = "sales"
+
+        key = shard_key_for(CrossTableArm(), "table", n_hash_shards=8)
+        assert key.startswith("hash:")
+
+    def test_invalid_strategy_and_bucket_count_rejected(self):
+        arm = make_arm("sales", ("a",))
+        with pytest.raises(ValueError):
+            shard_key_for(arm, "region")
+        with pytest.raises(ValueError):
+            shard_arms([arm], shard_by="hash", n_hash_shards=0)
+
+
+# --------------------------------------------------------------------- #
+# merge semantics
+# --------------------------------------------------------------------- #
+class TestMergeShardCandidates:
+    def test_empty_shards_are_skipped(self):
+        kept = make_scored("sales", ("a",), 1.0, 10, position=0)
+        merged = merge_shard_candidates([[], [kept], []], top_k=4)
+        assert merged == [kept]
+        assert merge_shard_candidates([], top_k=4) == []
+        assert merge_shard_candidates([[], []], top_k=None) == []
+
+    def test_k_larger_than_shard_size_keeps_everything(self):
+        shard = [
+            make_scored("sales", ("a",), 3.0, 10, position=0),
+            make_scored("sales", ("b",), 1.0, 10, position=1),
+        ]
+        merged = merge_shard_candidates([shard], top_k=50)
+        assert merged == shard
+
+    def test_none_disables_the_cut(self):
+        shard = [
+            make_scored("sales", (f"c{i}",), float(i), 10, position=i) for i in range(6)
+        ]
+        assert merge_shard_candidates([shard], top_k=None) == shard
+
+    def test_merged_survivors_are_in_pool_order(self):
+        shard_a = [make_scored("sales", ("a",), 1.0, 10, position=2)]
+        shard_b = [make_scored("customers", ("b",), 5.0, 10, position=0)]
+        merged = merge_shard_candidates([shard_a, shard_b], top_k=4)
+        assert [scored.position for scored in merged] == [0, 2]
+
+    def test_cut_keeps_top_k_by_score(self):
+        # Six equal-sized arms in one (table, leading column, templates)
+        # group: the Pareto frontier is just the group's best, so the cut
+        # reduces to plain top-k by score.
+        shard = [
+            make_scored("sales", ("a", f"c{i}"), score, 10, position=i, templates={"t"})
+            for i, score in enumerate([0.5, 9.0, 3.0, 8.0, 1.0, 7.0])
+        ]
+        merged = merge_shard_candidates([shard], top_k=3)
+        assert {scored.score for scored in merged} == {9.0, 8.0, 7.0}
+
+    def test_every_group_keeps_at_least_its_best_arm(self):
+        # Distinct leading columns: each arm is its own group, hence its own
+        # frontier — a finite cut never starves a group entirely.
+        shard = [
+            make_scored("sales", (f"c{i}",), float(i), 10, position=i, templates={"t"})
+            for i in range(6)
+        ]
+        merged = merge_shard_candidates([shard], top_k=2)
+        assert len(merged) == 6
+
+    def test_cut_keeps_pareto_frontier_of_each_group(self):
+        # One (table, leading column, templates) group under budget pressure:
+        # the small low-scored arm is on the frontier and must survive even
+        # though it loses the top-k cut, because it wins whenever the bigger
+        # winners no longer fit the remaining memory budget.
+        group = [
+            make_scored("sales", ("a", "b", "c"), 9.0, 900, position=0, templates={"t"}),
+            make_scored("sales", ("a", "b"), 8.0, 800, position=1, templates={"t"}),
+            make_scored("sales", ("a",), 0.5, 10, position=2, templates={"t"}),
+        ]
+        filler = [
+            make_scored("sales", (f"f{i}",), 5.0 - i * 0.1, 50, position=3 + i, templates={"t"})
+            for i in range(4)
+        ]
+        merged = merge_shard_candidates([group + filler], top_k=2)
+        positions = {scored.position for scored in merged}
+        assert {0, 2} <= positions, "frontier ends (best score, smallest size) must survive"
+
+    def test_dominated_arms_are_cut(self):
+        # Same group, same templates: strictly dominated (lower score, larger
+        # size) arms can never be the oracle's pick and are dropped.
+        group = [
+            make_scored("sales", ("a",), 9.0, 10, position=0, templates={"t"}),
+            make_scored("sales", ("a", "b"), 1.0, 500, position=1, templates={"t"}),
+        ]
+        filler = [
+            make_scored("sales", (f"f{i}",), 5.0, 50, position=2 + i, templates={"t"})
+            for i in range(4)
+        ]
+        merged = merge_shard_candidates([group + filler], top_k=2)
+        positions = {scored.position for scored in merged}
+        assert 0 in positions and 1 not in positions
+
+    def test_invalid_top_k_rejected(self):
+        with pytest.raises(ValueError):
+            merge_shard_candidates([], top_k=0)
+
+
+# --------------------------------------------------------------------- #
+# configuration and plumbing
+# --------------------------------------------------------------------- #
+class TestShardingConfig:
+    @pytest.mark.parametrize("field,value", [
+        ("shard_by", "region"),
+        ("n_hash_shards", 0),
+        ("shard_top_k", 0),
+    ])
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            MabConfig(**{field: value})
+
+    def test_configure_sharding_validates_and_updates(self, tiny_database):
+        tuner = MabTuner(tiny_database)
+        assert tuner.config.shard_by is None
+        tuner.configure_sharding("table", shard_top_k=None, n_hash_shards=4)
+        assert tuner.config.shard_by == "table"
+        assert tuner.config.shard_top_k is None
+        assert tuner.config.n_hash_shards == 4
+        # Omitted keywords leave the current values untouched.
+        tuner.configure_sharding("hash")
+        assert tuner.config.shard_top_k is None
+        with pytest.raises(ValueError):
+            tuner.configure_sharding("region")
+        tuner.configure_sharding(None)
+        assert tuner.config.shard_by is None
+
+    def test_session_option_enables_sharding_on_the_mab(self, tiny_database):
+        tuner = MabTuner(tiny_database)
+        TuningSession(tiny_database, tuner, SimulationOptions(shard_by="table"))
+        assert tuner.config.shard_by == "table"
+
+    def test_session_option_is_ignored_by_non_pool_tuners(self, tiny_database):
+        tuner = create_tuner("NoIndex", tiny_database)
+        session = TuningSession(tiny_database, tuner, SimulationOptions(shard_by="table"))
+        assert session.recommend().configuration == []
+
+    def test_reset_keeps_sharding_but_clears_stats(self, tiny_database):
+        from tests.conftest import make_sales_query
+
+        tuner = MabTuner(tiny_database, MabConfig(shard_by="table"))
+        session = TuningSession(tiny_database, tuner, SimulationOptions())
+        session.step([make_sales_query("s#1", "s")])
+        session.step([make_sales_query("s#2", "s")])
+        assert tuner.last_shard_stats is not None
+        tuner.reset()
+        assert tuner.config.shard_by == "table"
+        assert tuner.last_shard_stats is None
+
+
+# --------------------------------------------------------------------- #
+# end-to-end parity: sharded == monolithic recommendations
+# --------------------------------------------------------------------- #
+def run_configurations(benchmark_name: str, shard_by: str | None, n_rounds: int = 6):
+    """Per-round selected configurations of a MAB session at fixed seeds."""
+    benchmark = get_benchmark(benchmark_name)
+    database = benchmark.create_database(sample_rows=300, seed=7)
+    rounds = StaticWorkload(
+        database, benchmark.templates, n_rounds=n_rounds, seed=1
+    ).materialise()
+    session = TuningSession(
+        database,
+        create_tuner("MAB", database),
+        SimulationOptions(benchmark_name=benchmark_name, shard_by=shard_by),
+    )
+    configurations = []
+    for workload_round in rounds:
+        recommendation = session.recommend(round_number=workload_round.round_number)
+        configurations.append(
+            sorted(index.index_id for index in recommendation.configuration)
+        )
+        session.execute(workload_round.queries)
+        session.observe()
+    return configurations, session.tuner
+
+
+@pytest.mark.parametrize("benchmark_name", ["tpch", "ssb"])
+@pytest.mark.parametrize("shard_by", ["table", "hash"])
+def test_sharded_recommendations_match_monolithic(benchmark_name, shard_by):
+    monolithic, _ = run_configurations(benchmark_name, None)
+    sharded, tuner = run_configurations(benchmark_name, shard_by)
+    assert sharded == monolithic
+    stats = tuner.last_shard_stats
+    assert stats is not None
+    assert stats.n_shards >= 2
+    assert stats.max_shard_size < stats.n_arms
+    assert stats.n_candidates <= stats.n_arms
+    assert any(index_ids for index_ids in monolithic), "runs must select something"
+
+
+def test_sharded_parity_holds_at_aggressive_top_k(tiny_database):
+    """Even top_k=1 stays selection-preserving thanks to the Pareto frontiers."""
+    monolithic, _ = run_configurations("ssb", None)
+
+    benchmark = get_benchmark("ssb")
+    database = benchmark.create_database(sample_rows=300, seed=7)
+    rounds = StaticWorkload(database, benchmark.templates, n_rounds=6, seed=1).materialise()
+    tuner = create_tuner("MAB", database)
+    tuner.configure_sharding("table", shard_top_k=1)
+    session = TuningSession(database, tuner, SimulationOptions(benchmark_name="ssb"))
+    sharded = []
+    for workload_round in rounds:
+        recommendation = session.recommend(round_number=workload_round.round_number)
+        sharded.append(sorted(index.index_id for index in recommendation.configuration))
+        session.execute(workload_round.queries)
+        session.observe()
+    assert sharded == monolithic
+
+
+def test_sharded_selection_respects_memory_budget(tiny_database):
+    from tests.conftest import make_join_query, make_sales_query
+
+    tiny_database.memory_budget_bytes = 5 * 1024 * 1024
+    tuner = MabTuner(tiny_database, MabConfig(shard_by="table", shard_top_k=2))
+    session = TuningSession(tiny_database, tuner, SimulationOptions())
+    session.step([make_sales_query(), make_join_query()])
+    recommendation = session.recommend()
+    total = sum(
+        tiny_database.index_size_bytes(index)
+        for index in recommendation.configuration
+    )
+    assert total <= tiny_database.memory_budget_bytes
+
+
+def test_bandit_state_stays_global_across_shards(tiny_database):
+    """Sharding partitions scoring, not learning: V accumulates globally."""
+    from tests.conftest import make_join_query, make_sales_query
+
+    def run(shard_by):
+        benchmark_db = get_benchmark("ssb").create_database(sample_rows=200, seed=3)
+        tuner = MabTuner(benchmark_db, MabConfig(shard_by=shard_by))
+        session = TuningSession(benchmark_db, tuner, SimulationOptions())
+        rounds = StaticWorkload(
+            benchmark_db, get_benchmark("ssb").templates[:4], n_rounds=4, seed=2
+        ).materialise()
+        for workload_round in rounds:
+            session.step_workload_round(workload_round)
+        return tuner
+
+    monolithic = run(None)
+    sharded = run("table")
+    np.testing.assert_allclose(
+        sharded.bandit.scatter_matrix, monolithic.bandit.scatter_matrix
+    )
+    np.testing.assert_allclose(
+        sharded.bandit.response_vector, monolithic.bandit.response_vector
+    )
+    assert sharded.bandit.inversion_count == monolithic.bandit.inversion_count
