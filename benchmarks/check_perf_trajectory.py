@@ -1,0 +1,111 @@
+"""Guard the committed perf trajectory against silent regressions.
+
+``benchmarks/results/BENCH_recommend.json`` is the PR-to-PR record of the
+recommend/observe hot-loop latencies.  Overwriting it with worse numbers —
+because a change made the loop slower and nobody compared — would quietly
+reset the trajectory the ROADMAP tracks.  This script compares a freshly
+measured candidate file against the committed baseline and fails when any
+shared series' p50 regressed beyond an allowed factor.
+
+Every dict carrying a ``p50_ms`` key is treated as one series, addressed by
+its JSON path (e.g. ``incremental.500`` or
+``recommend_sharded.series.2000.max_shard``), so new series added by later
+PRs are picked up automatically — only series present in *both* files are
+compared, and at least one overlapping series is required.
+
+Usage (what the ``perf-trajectory`` CI job runs)::
+
+    python benchmarks/check_perf_trajectory.py \
+        baseline.json candidate.json --max-regression 5.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def collect_p50s(payload, prefix: str = "") -> dict[str, float]:
+    """Flatten every ``{"p50_ms": <number>}`` dict into ``{json.path: p50}``."""
+    series: dict[str, float] = {}
+    if isinstance(payload, dict):
+        p50 = payload.get("p50_ms")
+        if isinstance(p50, (int, float)) and not isinstance(p50, bool):
+            series[prefix.rstrip(".")] = float(p50)
+        for key, value in payload.items():
+            series.update(collect_p50s(value, f"{prefix}{key}."))
+    return series
+
+
+def compare(
+    baseline: dict, candidate: dict, max_regression: float
+) -> tuple[list[tuple[str, float, float, float]], list[str]]:
+    """Compare the candidate's p50 series against the baseline's.
+
+    Args:
+        baseline: Parsed committed benchmark payload.
+        candidate: Parsed freshly measured payload.
+        max_regression: Largest tolerated candidate/baseline p50 ratio.
+
+    Returns:
+        ``(regressions, shared)`` — regressions as ``(series, baseline_ms,
+        candidate_ms, ratio)`` tuples, and the list of series names compared.
+        Series missing from either side (new benchmarks, retired ones) are
+        skipped, as are degenerate zero-valued baselines.
+    """
+    base = collect_p50s(baseline)
+    cand = collect_p50s(candidate)
+    shared = sorted(name for name in base if name in cand and base[name] > 0)
+    regressions = []
+    for name in shared:
+        ratio = cand[name] / base[name]
+        if ratio > max_regression:
+            regressions.append((name, base[name], cand[name], ratio))
+    return regressions, shared
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="committed BENCH_recommend.json")
+    parser.add_argument("candidate", type=Path, help="freshly measured BENCH_recommend.json")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=5.0,
+        help="largest tolerated candidate/baseline p50 ratio (default: 5.0)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = json.loads(args.baseline.read_text())
+        candidate = json.loads(args.candidate.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"perf-trajectory: cannot load inputs: {error}", file=sys.stderr)
+        return 2
+
+    regressions, shared = compare(baseline, candidate, args.max_regression)
+    if not shared:
+        print("perf-trajectory: no overlapping p50 series to compare", file=sys.stderr)
+        return 2
+
+    regressed = {name for name, *_ in regressions}
+    print(f"perf-trajectory: {len(shared)} series compared (x{args.max_regression} bar)")
+    for name in shared:
+        if name not in regressed:
+            print(f"  ok  {name}")
+    if regressions:
+        print(f"perf-trajectory: {len(regressions)} series regressed:", file=sys.stderr)
+        for name, base_ms, cand_ms, ratio in regressions:
+            print(
+                f"  FAIL {name}: p50 {base_ms:.4f} ms -> {cand_ms:.4f} ms "
+                f"({ratio:.1f}x, bar {args.max_regression}x)",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,6 +21,7 @@ from __future__ import annotations
 import json
 import os
 import time
+from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
@@ -169,14 +170,15 @@ def build_sharded_pool(n_arms: int) -> tuple[list[Arm], list]:
     return arms, shard_arms(arms, shard_by="table")
 
 
-def run_sharded_loop(n_arms: int, rounds: int, seed: int = 5):
+def run_sharded_loop(n_arms: int, rounds: int, seed: int = 5, workers: int = 1):
     """Drive the sharded steady-state scoring loop with a global learner.
 
     Per round: freeze one ``LinearScorer`` snapshot, score every shard's
     context slice independently (recording each shard's latency — the max is
     the critical path a per-shard parallel pass would pay), then apply the
     round's rank-k update to the single global ``V⁻¹``, exactly as
-    ``MabTuner`` does in shard mode.
+    ``MabTuner`` does in shard mode.  ``workers > 1`` scores the shards on a
+    thread pool, mirroring ``MabConfig.shard_workers``.
     """
     _, shards = build_sharded_pool(n_arms)
     rng = np.random.default_rng(seed)
@@ -185,23 +187,35 @@ def run_sharded_loop(n_arms: int, rounds: int, seed: int = 5):
     ]
     all_contexts = np.vstack(contexts_by_shard)
     bandit = C2UCB(dimension=DIMENSION)
+    pool = ThreadPoolExecutor(max_workers=workers) if workers > 1 else None
+
+    def score_shard(scorer, contexts):
+        shard_started = time.perf_counter()
+        scores = scorer.upper_confidence_scores(contexts, alpha=1.0)
+        keep = min(SUPER_ARM_SIZE, len(scores))
+        top = np.argpartition(scores, -keep)[-keep:]
+        return top, time.perf_counter() - shard_started
+
     total_latencies, max_shard_latencies = [], []
-    for round_number in range(WARMUP_ROUNDS + rounds):
-        round_started = time.perf_counter()
-        scorer = bandit.scorer()
-        shard_seconds = []
-        top_scores = []
-        for contexts in contexts_by_shard:
-            shard_started = time.perf_counter()
-            scores = scorer.upper_confidence_scores(contexts, alpha=1.0)
-            keep = min(SUPER_ARM_SIZE, len(scores))
-            top_scores.append(np.argpartition(scores, -keep)[-keep:])
-            shard_seconds.append(time.perf_counter() - shard_started)
-        chosen = rng.choice(n_arms, size=SUPER_ARM_SIZE, replace=False)
-        bandit.update(all_contexts[chosen], rng.normal(size=SUPER_ARM_SIZE))
-        if round_number >= WARMUP_ROUNDS:
-            total_latencies.append(time.perf_counter() - round_started)
-            max_shard_latencies.append(max(shard_seconds))
+    try:
+        for round_number in range(WARMUP_ROUNDS + rounds):
+            round_started = time.perf_counter()
+            scorer = bandit.scorer()
+            if pool is not None:
+                outcomes = list(
+                    pool.map(lambda contexts: score_shard(scorer, contexts), contexts_by_shard)
+                )
+            else:
+                outcomes = [score_shard(scorer, contexts) for contexts in contexts_by_shard]
+            shard_seconds = [seconds for _, seconds in outcomes]
+            chosen = rng.choice(n_arms, size=SUPER_ARM_SIZE, replace=False)
+            bandit.update(all_contexts[chosen], rng.normal(size=SUPER_ARM_SIZE))
+            if round_number >= WARMUP_ROUNDS:
+                total_latencies.append(time.perf_counter() - round_started)
+                max_shard_latencies.append(max(shard_seconds))
+    finally:
+        if pool is not None:
+            pool.shutdown()
     return np.asarray(total_latencies), np.asarray(max_shard_latencies), len(shards)
 
 
@@ -263,6 +277,70 @@ def test_recommend_sharded_perf(results_dir):
             f"per-shard scoring cost grew {growth:.2f}x while the pool grew 4x "
             f"at a fixed shard size — sharding no longer bounds the critical "
             f"path (ceiling {MAX_SHARD_GROWTH_CEILING}x)"
+        )
+
+
+# --------------------------------------------------------------------- #
+# parallel shard scoring (MabConfig.shard_workers)
+# --------------------------------------------------------------------- #
+PARALLEL_ARM_COUNT = 2000
+PARALLEL_WORKER_COUNTS = (1, 2, 4)
+PARALLEL_ROUNDS = 20 if SMOKE_MODE else 80
+#: Thread fan-out must never cost more than this factor over serial scoring
+#: (on a 1-CPU container the pool is pure overhead; on multi-core hosts the
+#: flat max-shard line converts into wall-clock instead).
+PARALLEL_OVERHEAD_CEILING = 5.0
+
+
+def test_recommend_sharded_parallel_perf(results_dir):
+    """Emit the ``sharded_parallel`` series: thread-pooled vs serial shard pass.
+
+    The per-shard critical path is already flat (see ``recommend_sharded``);
+    ``MabConfig.shard_workers`` is the knob that turns it into wall-clock on
+    multi-core hosts.  This container has 1 CPU, so the interesting number
+    here is the *overhead* of the thread fan-out, which must stay bounded —
+    the wall-clock win itself needs real hardware (ROADMAP item).
+    """
+    series: dict[str, dict] = {}
+    for workers in PARALLEL_WORKER_COUNTS:
+        totals, max_shard, n_shards = run_sharded_loop(
+            PARALLEL_ARM_COUNT, PARALLEL_ROUNDS, workers=workers
+        )
+        series[str(workers)] = {
+            "n_shards": n_shards,
+            "total": summarise(totals),
+            "max_shard": summarise(max_shard),
+        }
+
+    path = results_dir / "BENCH_recommend.json"
+    payload = json.loads(path.read_text()) if path.exists() else {}
+    payload["sharded_parallel"] = {
+        "n_arms": PARALLEL_ARM_COUNT,
+        "shard_size": SHARD_SIZE,
+        "rounds": PARALLEL_ROUNDS,
+        "smoke_mode": SMOKE_MODE,
+        "series": series,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        f"parallel shard scoring ({PARALLEL_ARM_COUNT} arms / "
+        f"{series['1']['n_shards']} shards, smoke={SMOKE_MODE})"
+    ]
+    for workers in PARALLEL_WORKER_COUNTS:
+        entry = series[str(workers)]
+        lines.append(
+            f"  {workers} worker(s): total p50 {entry['total']['p50_ms']:.3f} ms, "
+            f"max-shard p50 {entry['max_shard']['p50_ms']:.3f} ms"
+        )
+    write_result(results_dir, "BENCH_recommend_parallel", "\n".join(lines))
+
+    serial_p50 = series["1"]["total"]["p50_ms"]
+    for workers in PARALLEL_WORKER_COUNTS[1:]:
+        ratio = series[str(workers)]["total"]["p50_ms"] / max(serial_p50, 1e-9)
+        assert ratio < PARALLEL_OVERHEAD_CEILING, (
+            f"thread fan-out overhead at {workers} workers is {ratio:.2f}x the "
+            f"serial sharded pass (ceiling {PARALLEL_OVERHEAD_CEILING}x)"
         )
 
 

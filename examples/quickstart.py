@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import os
 
-from repro.api import DatabaseSpec, SimulationOptions, run_competition
+from repro.api import SimulationOptions, run_competition
 from repro.harness import (
     ExperimentSettings,
     build_workload_rounds,

@@ -5,6 +5,11 @@ Everything a downstream caller needs lives here:
 * the tuner protocol — :class:`Tuner`, :class:`Recommendation`;
 * the tuner registry — :func:`register_tuner`, :func:`create_tuner`,
   :class:`TunerSpec`, :func:`registered_tuner_names`;
+* the storage-backend registry — :class:`BackendProfile`,
+  :func:`register_backend`, :func:`get_backend`,
+  :func:`registered_backend_names` — selecting the cost-model tier
+  (``hdd``/``ssd``/``inmemory``) a database is priced on, via
+  ``DatabaseSpec(backend=...)`` or ``SimulationOptions(backend=...)``;
 * session-based tuning — :class:`TuningSession` with its explicit
   ``recommend() / execute(queries) / observe()`` cycle and one-shot
   ``step(queries)``, for callers streaming their own workload
@@ -20,6 +25,13 @@ and figures *on top of* this API; nothing there is required to tune a
 workload.
 """
 
+from repro.engine.backend import (
+    BackendProfile,
+    UnknownBackendError,
+    get_backend,
+    register_backend,
+    registered_backend_names,
+)
 from repro.harness.metrics import RoundReport, RunReport
 from repro.interface import Recommendation, Tuner
 
@@ -40,6 +52,7 @@ from .session import (
 from .competition import CompetitionEntry, DatabaseSpec, run_competition
 
 __all__ = [
+    "BackendProfile",
     "CompetitionEntry",
     "DatabaseSpec",
     "Recommendation",
@@ -50,10 +63,14 @@ __all__ = [
     "Tuner",
     "TunerSpec",
     "TuningSession",
+    "UnknownBackendError",
     "UnknownTunerError",
     "create_tuner",
     "execute_round",
+    "get_backend",
+    "register_backend",
     "register_tuner",
+    "registered_backend_names",
     "registered_tuner_names",
     "run_competition",
     "run_simulation",

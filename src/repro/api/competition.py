@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Callable, Mapping, Union
 
 import multiprocessing
 
+from repro.engine.backend import BackendProfile
 from repro.engine.catalog import Database
 from repro.harness.metrics import RunReport
 from repro.interface import Tuner
@@ -43,7 +44,10 @@ class DatabaseSpec:
 
     Calling the spec (or :meth:`create`) materialises a fresh database, so it
     slots in anywhere a ``database_factory`` is expected — including across
-    process boundaries, where closures cannot travel.
+    process boundaries, where closures cannot travel.  ``backend`` names the
+    storage tier the database's cost model prices operators with (a registered
+    profile name or a :class:`~repro.engine.BackendProfile` instance — both
+    pickle cleanly); ``None`` keeps the default ``hdd`` tier.
     """
 
     benchmark_name: str
@@ -51,6 +55,7 @@ class DatabaseSpec:
     sample_rows: int = 4000
     seed: int = 7
     memory_budget_multiplier: float | None = 1.0
+    backend: "str | BackendProfile | None" = None
 
     def create(self) -> Database:
         from repro.workloads.registry import get_benchmark
@@ -60,6 +65,7 @@ class DatabaseSpec:
             sample_rows=self.sample_rows,
             seed=self.seed,
             memory_budget_multiplier=self.memory_budget_multiplier,
+            backend=self.backend,
         )
 
     def __call__(self) -> Database:

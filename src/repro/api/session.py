@@ -29,6 +29,7 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
+from repro.engine.backend import BackendProfile
 from repro.engine.catalog import ConfigurationChange, Database
 from repro.engine.execution import ExecutionResult, Executor
 from repro.engine.query import Query
@@ -73,6 +74,15 @@ class SimulationOptions:
             ``configure_sharding``, which updates the tuner's config for its
             lifetime, not just for this session; tuners without that method
             — NoIndex, PDTool, the DDQN agents — ignore the knob.
+        backend: Storage-backend profile applied to the session's database
+            before the first round (a registered name such as ``"hdd"``,
+            ``"ssd"``, ``"inmemory"``, or a
+            :class:`~repro.engine.BackendProfile` instance).  ``None`` keeps
+            whatever backend the database was built with.  Like ``shard_by``
+            this is a lasting change — the session calls
+            :meth:`repro.engine.Database.set_backend` on *its* database —
+            and both spellings pickle cleanly across
+            ``run_competition(workers>1)`` boundaries.
     """
 
     noise_sigma: float = 0.03
@@ -85,6 +95,8 @@ class SimulationOptions:
     keep_results: bool = False
     #: Arm-pool sharding strategy for pool-scoring tuners (``None`` = off).
     shard_by: str | None = None
+    #: Storage-backend profile for the session's database (``None`` = keep).
+    backend: "str | BackendProfile | None" = None
 
 
 @dataclass
@@ -155,10 +167,14 @@ class TuningSession:
         Raises:
             ValueError: If ``options.shard_by`` names an unknown strategy
                 (propagated from the tuner's config validation).
+            repro.engine.UnknownBackendError: If ``options.backend`` names a
+                backend profile nobody registered.
         """
         self.database = database
         self.tuner = tuner
         self.options = options or SimulationOptions()
+        if self.options.backend is not None:
+            database.set_backend(self.options.backend)
         if self.options.shard_by is not None and hasattr(tuner, "configure_sharding"):
             tuner.configure_sharding(self.options.shard_by)
         self.planner = Planner(database)

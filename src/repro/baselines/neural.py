@@ -7,7 +7,7 @@ error loss and Adam updates, which is everything double Q-learning needs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

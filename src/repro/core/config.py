@@ -60,6 +60,13 @@ class MabConfig:
     #: Candidates each shard forwards to the knapsack oracle (its local
     #: top-k by score); ``None`` forwards every arm (exact merge).
     shard_top_k: int | None = 16
+    #: Worker threads for the sharded scoring pass: ``1`` scores shards
+    #: serially (default), ``> 1`` fans the per-shard passes out over a
+    #: thread pool of that size, ``0`` uses one thread per CPU.  Shards share
+    #: no mutable state (frozen scorer snapshot, per-shard context slices)
+    #: and results merge in shard order, so recommendations are identical at
+    #: any worker count.  Only meaningful when :attr:`shard_by` is set.
+    shard_workers: int = 1
 
     #: Random seed for tie-breaking.
     seed: int = 17
@@ -87,6 +94,8 @@ class MabConfig:
             raise ValueError("n_hash_shards must be at least 1")
         if self.shard_top_k is not None and self.shard_top_k < 1:
             raise ValueError("shard_top_k must be at least 1 (or None)")
+        if self.shard_workers < 0:
+            raise ValueError("shard_workers must be >= 0 (0 = one per CPU)")
 
     def alpha_at(self, round_number: int) -> float:
         """Exploration boost used in the given (1-based) round."""

@@ -21,14 +21,15 @@ execution statistics, which is the paper's central design decision.
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
+from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
 from repro.api.registry import register_tuner
 from repro.engine.catalog import ConfigurationChange, Database
 from repro.engine.execution import ExecutionResult
-from repro.engine.indexes import IndexDefinition
 from repro.engine.query import Query
 from repro.interface import Recommendation, Tuner
 
@@ -214,9 +215,7 @@ class MabTuner(Tuner):
         jitter = self.bandit.tie_break(len(arms))
         scorer = self.bandit.scorer()
 
-        candidates_by_shard: list[list[ScoredArm]] = []
-        context_rows: dict[str, np.ndarray] = {}
-        for shard in shards:
+        def score_shard(shard) -> list[ScoredArm]:
             contexts = self.context_builder.build_matrix(
                 shard.arms,
                 queries,
@@ -235,7 +234,21 @@ class MabTuner(Tuner):
                         position=position,
                     )
                 )
-            candidates_by_shard.append(shard_candidates)
+            return shard_candidates
+
+        context_rows: dict[str, np.ndarray] = {}
+        workers = self._shard_worker_count(len(shards))
+        if workers > 1:
+            # The per-shard passes share only read-only state (the frozen
+            # scorer, the pre-built predicate-column map, the jitter vector);
+            # the dict/cache writes they do perform (context rows, hypothetical
+            # index sizes, key-slot caches) are idempotent single-item dict
+            # stores, so any interleaving produces identical values.  Mapping
+            # over `shards` in order keeps the merge deterministic.
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                candidates_by_shard = list(pool.map(score_shard, shards))
+        else:
+            candidates_by_shard = [score_shard(shard) for shard in shards]
 
         merged = merge_shard_candidates(candidates_by_shard, self.config.shard_top_k)
         self.last_shard_stats = ShardScoreStats(
@@ -246,12 +259,20 @@ class MabTuner(Tuner):
         )
         return merged, context_rows
 
+    def _shard_worker_count(self, n_shards: int) -> int:
+        """Worker threads the sharded pass uses (never more than shards)."""
+        workers = self.config.shard_workers
+        if workers == 0:
+            workers = os.cpu_count() or 1
+        return max(1, min(workers, n_shards))
+
     def configure_sharding(
         self,
         shard_by: str | None,
         *,
         shard_top_k: "int | None" = _UNSET,
         n_hash_shards: int | None = None,
+        shard_workers: int | None = None,
     ) -> None:
         """Switch the scoring pass between monolithic and sharded modes.
 
@@ -262,6 +283,9 @@ class MabTuner(Tuner):
                 Left unchanged when omitted.
             n_hash_shards: Bucket count for hash placement.  Left unchanged
                 when omitted.
+            shard_workers: Thread count for the per-shard scoring passes
+                (``1`` serial, ``0`` one per CPU).  Left unchanged when
+                omitted.  Recommendations are identical at any worker count.
 
         Raises:
             ValueError: If any value fails :class:`MabConfig` validation.
@@ -271,6 +295,8 @@ class MabTuner(Tuner):
             updates["shard_top_k"] = shard_top_k
         if n_hash_shards is not None:
             updates["n_hash_shards"] = n_hash_shards
+        if shard_workers is not None:
+            updates["shard_workers"] = shard_workers
         # replace() re-runs __post_init__, so invalid values are rejected
         # before they can affect a live tuner.
         self.config = dataclasses.replace(self.config, **updates)

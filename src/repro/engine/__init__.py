@@ -7,6 +7,15 @@ times.  The query *optimiser* (which works from estimated statistics and
 exposes the what-if interface) lives in :mod:`repro.optimizer`.
 """
 
+from .backend import (
+    BackendLike,
+    BackendProfile,
+    UnknownBackendError,
+    get_backend,
+    register_backend,
+    registered_backend_names,
+    resolve_backend,
+)
 from .catalog import ConfigurationChange, Database
 from .cost_model import CostModel, CostModelParameters, pages_touched_by_random_fetches
 from .datagen import (
@@ -49,6 +58,8 @@ from .storage import PAGE_SIZE_BYTES, TableData, build_table_data, evaluate_pred
 
 __all__ = [
     "AccessMethod",
+    "BackendLike",
+    "BackendProfile",
     "Categorical",
     "Column",
     "ColumnGenerator",
@@ -90,6 +101,7 @@ __all__ = [
     "TableStatistics",
     "UniformFloat",
     "UniformInt",
+    "UnknownBackendError",
     "UnknownColumnError",
     "UnknownIndexError",
     "UnknownTableError",
@@ -99,8 +111,12 @@ __all__ = [
     "build_table_statistics",
     "deduplicate",
     "evaluate_predicate",
+    "get_backend",
     "merge_queries",
     "pages_touched_by_random_fetches",
+    "register_backend",
+    "registered_backend_names",
     "remove_prefix_redundant",
+    "resolve_backend",
     "scale_rows",
 ]

@@ -13,6 +13,7 @@ from typing import Iterable, Mapping
 
 import numpy as np
 
+from .backend import BackendLike, BackendProfile, resolve_backend
 from .cost_model import CostModel, CostModelParameters
 from .datagen import TableSpec
 from .errors import (
@@ -60,6 +61,11 @@ class Database:
     histogram_buckets:
         Number of equi-width histogram buckets for optimiser statistics
         (0 reproduces plain uniformity assumptions).
+    backend:
+        Storage-backend profile (a registered name such as ``"hdd"``,
+        ``"ssd"``, ``"inmemory"`` or a :class:`BackendProfile` instance) the
+        cost model prices operators with.  Mutually exclusive with an
+        explicit ``cost_model``; ``None`` keeps the default ``hdd`` tier.
     """
 
     def __init__(
@@ -69,6 +75,7 @@ class Database:
         memory_budget_bytes: int | None = None,
         cost_model: CostModel | None = None,
         histogram_buckets: int = 0,
+        backend: BackendLike = None,
     ) -> None:
         self.schema = schema
         self._tables: dict[str, TableData] = dict(tables)
@@ -76,6 +83,10 @@ class Database:
             if table_name not in self._tables:
                 raise UnknownTableError(table_name)
         self.memory_budget_bytes = memory_budget_bytes
+        if backend is not None and cost_model is not None:
+            raise ValueError("pass either cost_model or backend, not both")
+        if backend is not None:
+            cost_model = CostModel(resolve_backend(backend))
         self.cost_model = cost_model or CostModel()
         self._indexes: dict[str, IndexDefinition] = {}
         self._index_sizes: dict[str, int] = {}
@@ -103,8 +114,17 @@ class Database:
         memory_budget_bytes: int | None = None,
         cost_model_parameters: CostModelParameters | None = None,
         histogram_buckets: int = 0,
+        backend: BackendLike = None,
     ) -> "Database":
-        """Generate table samples from specs and assemble a database."""
+        """Generate table samples from specs and assemble a database.
+
+        ``backend`` selects the storage tier the cost model prices operators
+        with (see :mod:`repro.engine.backend`); ``cost_model_parameters`` is
+        the older spelling accepting a raw profile, and the two are mutually
+        exclusive.
+        """
+        if backend is not None and cost_model_parameters is not None:
+            raise ValueError("pass either cost_model_parameters or backend, not both")
         rng = np.random.default_rng(seed)
         tables: dict[str, TableData] = {}
         for spec in table_specs:
@@ -118,12 +138,12 @@ class Database:
             tables[spec.table_name] = build_table_data(
                 table, sample, spec.row_count, distinct_hints=distinct_hints
             )
-        cost_model = CostModel(cost_model_parameters) if cost_model_parameters else CostModel()
+        profile = resolve_backend(backend if backend is not None else cost_model_parameters)
         return cls(
             schema=schema,
             tables=tables,
             memory_budget_bytes=memory_budget_bytes,
-            cost_model=cost_model,
+            cost_model=CostModel(profile),
             histogram_buckets=histogram_buckets,
         )
 
@@ -143,6 +163,29 @@ class Database:
     @property
     def statistics(self) -> StatisticsCatalog:
         return self._statistics
+
+    @property
+    def backend_profile(self) -> BackendProfile:
+        """The storage-backend profile the cost model prices operators with."""
+        return self.cost_model.profile
+
+    def set_backend(self, backend: BackendLike) -> BackendProfile:
+        """Re-time the database for a different storage backend.
+
+        Swaps the cost model for one built on ``backend`` (a registered name
+        or a :class:`BackendProfile`).  Data, statistics and index *sizes*
+        are byte quantities independent of the storage tier, so they stay
+        valid; only the seconds the cost model reports change.
+
+        Returns:
+            The resolved profile now in effect.
+
+        Raises:
+            repro.engine.UnknownBackendError: For an unregistered name.
+        """
+        profile = resolve_backend(backend)
+        self.cost_model = CostModel(profile)
+        return profile
 
     @property
     def data_size_bytes(self) -> int:

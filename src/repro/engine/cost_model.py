@@ -8,47 +8,27 @@ the optimiser's expectation and the observed run time stems purely from
 cardinality misestimation, which is precisely the failure mode the paper
 studies.
 
-The parameters are calibrated loosely to the paper's testbed (10K RPM disks,
-cold buffer cache): a full scan of TPC-H SF 10 ``lineitem`` costs tens of
-model-seconds and a 22-query TPC-H round lands in the few-hundred-second
-range, matching the order of magnitude of Figure 2(b).
+Every timing constant lives in a :class:`~repro.engine.backend.BackendProfile`
+(see :mod:`repro.engine.backend`).  The default ``hdd`` profile is calibrated
+loosely to the paper's testbed (10K RPM disks, cold buffer cache): a full scan
+of TPC-H SF 10 ``lineitem`` costs tens of model-seconds and a 22-query TPC-H
+round lands in the few-hundred-second range, matching the order of magnitude
+of Figure 2(b).  The ``ssd`` and ``inmemory`` profiles re-time the same
+formulas for cheaper storage tiers.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 
+from .backend import BackendLike, BackendProfile, resolve_backend
 from .indexes import IndexDefinition
-from .storage import PAGE_SIZE_BYTES, TableData
+from .storage import TableData
 
-
-@dataclass(frozen=True)
-class CostModelParameters:
-    """Tunable constants of the cost model (all times in seconds)."""
-
-    #: Sequential read throughput, bytes/second (200 MB/s).
-    sequential_read_bytes_per_second: float = 200e6
-    #: Sequential write throughput used for index build, bytes/second.
-    sequential_write_bytes_per_second: float = 150e6
-    #: Cost of one random page fetch (partially amortised by read-ahead/cache).
-    random_page_read_seconds: float = 2.0e-4
-    #: CPU cost of processing one tuple through a scan or filter.
-    cpu_tuple_seconds: float = 2.0e-7
-    #: CPU cost of one comparison during sorting.
-    cpu_sort_compare_seconds: float = 5.0e-8
-    #: CPU cost of one hash-table insert/probe.
-    cpu_hash_seconds: float = 1.5e-7
-    #: Fixed per-query overhead (parsing, planning, result shipping).
-    per_query_overhead_seconds: float = 0.05
-    #: Fraction of the row-fetch cost avoided when an index is covering.
-    covering_cpu_discount: float = 0.5
-
-    def page_read_seconds(self) -> float:
-        return PAGE_SIZE_BYTES / self.sequential_read_bytes_per_second
-
-    def page_write_seconds(self) -> float:
-        return PAGE_SIZE_BYTES / self.sequential_write_bytes_per_second
+#: Deprecated alias kept for callers of the pre-backend API; the constants it
+#: used to carry are now the fields of :class:`BackendProfile` (whose defaults
+#: are exactly the old values).
+CostModelParameters = BackendProfile
 
 
 def pages_touched_by_random_fetches(rows_fetched: float, table_pages: int) -> float:
@@ -68,10 +48,23 @@ def pages_touched_by_random_fetches(rows_fetched: float, table_pages: int) -> fl
 
 
 class CostModel:
-    """Cost formulas for the physical operators the simulator supports."""
+    """Cost formulas for the physical operators the simulator supports.
 
-    def __init__(self, parameters: CostModelParameters | None = None):
-        self.parameters = parameters or CostModelParameters()
+    The formulas are backend-independent; every constant they consume comes
+    from the model's :class:`BackendProfile`, so the same operator tree costs
+    very differently on ``hdd``, ``ssd`` and ``inmemory`` storage.
+    """
+
+    def __init__(self, parameters: BackendLike = None):
+        #: The backend profile supplying every timing constant.  The
+        #: attribute keeps its historical name (``parameters``); ``profile``
+        #: is the modern accessor.
+        self.parameters = resolve_backend(parameters)
+
+    @property
+    def profile(self) -> BackendProfile:
+        """The backend profile this model prices operators with."""
+        return self.parameters
 
     # ------------------------------------------------------------------ #
     # scans and seeks
@@ -125,8 +118,9 @@ class CostModel:
         compares = rows * max(1.0, math.log2(rows))
         cpu = compares * self.parameters.cpu_sort_compare_seconds
         spill_bytes = rows * row_width_bytes
-        # Sorting spills once past ~1 GB of work memory: one write + one read pass.
-        work_memory_bytes = 1 << 30
+        # Sorting spills once past the backend's work memory: one write + one
+        # read pass (the in-memory profile sets the threshold unreachably high).
+        work_memory_bytes = self.parameters.sort_spill_threshold_bytes
         io = 0.0
         if spill_bytes > work_memory_bytes:
             io = 2 * spill_bytes / self.parameters.sequential_write_bytes_per_second
@@ -183,6 +177,6 @@ class CostModel:
         return scan + sort + write
 
     def index_drop_seconds(self, index: IndexDefinition, data: TableData) -> float:
-        """Dropping is a metadata operation: small constant cost."""
+        """Dropping is a metadata operation: small backend-specific constant."""
         del index, data
-        return 0.1
+        return self.parameters.index_drop_seconds

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.engine.backend import BackendLike
 from repro.engine.catalog import Database
 from repro.engine.cost_model import CostModelParameters
 from repro.engine.datagen import TableSpec
@@ -71,12 +72,18 @@ class Benchmark:
         memory_budget_multiplier: float | None = 1.0,
         cost_model_parameters: CostModelParameters | None = None,
         histogram_buckets: int = 0,
+        backend: BackendLike = None,
     ) -> Database:
         """Materialise the benchmark database.
 
         ``memory_budget_multiplier`` follows the paper: the index memory budget
         equals the multiplier times the data size (1x by default).  ``None``
         disables the budget.
+
+        ``backend`` selects the storage tier (a registered profile name such
+        as ``"hdd"``/``"ssd"``/``"inmemory"`` or a
+        :class:`~repro.engine.BackendProfile`); ``None`` keeps the paper's
+        HDD constants.
         """
         specs = self.table_specs(scale_factor)
         database = Database.from_specs(
@@ -87,6 +94,7 @@ class Benchmark:
             memory_budget_bytes=None,
             cost_model_parameters=cost_model_parameters,
             histogram_buckets=histogram_buckets,
+            backend=backend,
         )
         if memory_budget_multiplier is not None:
             database.memory_budget_bytes = int(database.data_size_bytes * memory_budget_multiplier)

@@ -9,7 +9,6 @@ benchmark with "easily achievable high index benefits".
 from __future__ import annotations
 
 from repro.engine.datagen import (
-    DateRange,
     ForeignKeyRef,
     SequentialKey,
     TableSpec,

@@ -15,7 +15,6 @@ the optimiser's uniformity assumption while keeping the schema identical.
 from __future__ import annotations
 
 from repro.engine.datagen import (
-    Categorical,
     DateRange,
     Derived,
     ForeignKeyRef,

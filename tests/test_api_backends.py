@@ -1,0 +1,163 @@
+"""Backend plumbing through the public API: specs, options, sessions, workers.
+
+Two guarantees matter here:
+
+* ``backend="hdd"`` (any spelling: :class:`DatabaseSpec`,
+  :class:`SimulationOptions`, or nothing at all) is **bit-identical** to the
+  pre-backend behaviour, for every registered tuner — the multi-backend axis
+  must not perturb the reproduction;
+* backend profiles survive every process boundary the API exposes
+  (``run_competition(workers>1)`` pickles specs and options).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.api import (
+    BackendProfile,
+    DatabaseSpec,
+    SimulationOptions,
+    TunerSpec,
+    TuningSession,
+    UnknownBackendError,
+    create_tuner,
+    get_backend,
+    run_competition,
+)
+from repro.workloads import StaticWorkload, get_benchmark
+
+ALL_TUNERS = ["NoIndex", "MAB", "PDTool", "DDQN", "DDQN_SC"]
+
+
+def tiny_spec(backend=None) -> DatabaseSpec:
+    return DatabaseSpec("ssb", scale_factor=0.1, sample_rows=200, seed=4, backend=backend)
+
+
+@pytest.fixture(scope="module")
+def ssb_rounds():
+    benchmark = get_benchmark("ssb")
+    database = tiny_spec().create()
+    return StaticWorkload(database, benchmark.templates[:4], n_rounds=4, seed=1).materialise()
+
+
+def run_session(ssb_rounds, tuner_name: str, spec: DatabaseSpec, options: SimulationOptions):
+    database = spec.create()
+    tuner = create_tuner(tuner_name, database, TunerSpec("ssb", "static"))
+    session = TuningSession(database, tuner, options)
+    for workload_round in ssb_rounds:
+        session.step_workload_round(workload_round)
+    configuration = sorted(ix.index_id for ix in database.materialised_indexes)
+    return session.report, configuration
+
+
+def assert_reports_identical(a, b):
+    assert a.n_rounds == b.n_rounds
+    # recommendation_seconds is measured wall-clock (jittery by nature), so
+    # parity is pinned on the model-time and configuration columns.
+    for left, right in zip(a.rounds, b.rounds):
+        assert left.round_number == right.round_number
+        assert left.creation_seconds == right.creation_seconds
+        assert left.execution_seconds == right.execution_seconds
+        assert left.configuration_size == right.configuration_size
+        assert left.configuration_bytes == right.configuration_bytes
+
+
+# --------------------------------------------------------------------- #
+# hdd is the seed behaviour, bit for bit, for every tuner
+# --------------------------------------------------------------------- #
+class TestHddParity:
+    @pytest.mark.parametrize("name", ALL_TUNERS)
+    def test_explicit_hdd_matches_default_everywhere(self, name, ssb_rounds):
+        options = SimulationOptions(benchmark_name="ssb")
+        seed_report, seed_configuration = run_session(
+            ssb_rounds, name, tiny_spec(), options
+        )
+
+        via_spec, spec_configuration = run_session(
+            ssb_rounds, name, tiny_spec(backend="hdd"), options
+        )
+        via_options, options_configuration = run_session(
+            ssb_rounds, name, tiny_spec(),
+            SimulationOptions(benchmark_name="ssb", backend="hdd"),
+        )
+        via_profile, profile_configuration = run_session(
+            ssb_rounds, name, tiny_spec(),
+            SimulationOptions(benchmark_name="ssb", backend=BackendProfile()),
+        )
+
+        for report in (via_spec, via_options, via_profile):
+            assert_reports_identical(seed_report, report)
+        for configuration in (spec_configuration, options_configuration, profile_configuration):
+            assert configuration == seed_configuration
+
+
+# --------------------------------------------------------------------- #
+# plumbing and serialisation
+# --------------------------------------------------------------------- #
+class TestBackendPlumbing:
+    def test_session_applies_options_backend(self, ssb_rounds):
+        database = tiny_spec().create()
+        assert database.backend_profile.name == "hdd"
+        TuningSession(
+            database,
+            create_tuner("NoIndex", database),
+            SimulationOptions(backend="inmemory"),
+        )
+        assert database.backend_profile.name == "inmemory"
+
+    def test_session_rejects_unknown_backend(self, ssb_rounds):
+        database = tiny_spec().create()
+        with pytest.raises(UnknownBackendError, match="registered backends"):
+            TuningSession(
+                database,
+                create_tuner("NoIndex", database),
+                SimulationOptions(backend="zram"),
+            )
+
+    def test_spec_with_backend_is_picklable(self):
+        spec = tiny_spec(backend="ssd")
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.create().backend_profile.name == "ssd"
+        # a raw profile instance travels just as well as a name
+        spec = tiny_spec(backend=get_backend("inmemory"))
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.create().backend_profile.name == "inmemory"
+
+    def test_options_with_profile_are_picklable(self):
+        options = SimulationOptions(backend=get_backend("ssd"))
+        clone = pickle.loads(pickle.dumps(options))
+        assert clone.backend == get_backend("ssd")
+
+    def test_backend_round_trips_through_competition_workers(self, ssb_rounds):
+        """Specs and options carrying backends must cross process boundaries.
+
+        The spec names its backend by string and the options carry a full
+        :class:`BackendProfile` instance; with two workers both travel
+        through pickled task submissions, and the merged reports must be
+        identical to a sequential run's.
+        """
+        spec = tiny_spec(backend="ssd")
+        options = SimulationOptions(
+            benchmark_name="ssb", backend=get_backend("ssd")
+        )
+        entries = {"NoIndex": "NoIndex", "MAB": "MAB"}
+        sequential = run_competition(spec, entries, ssb_rounds, options, workers=1)
+        parallel = run_competition(spec, entries, ssb_rounds, options, workers=2)
+        assert list(sequential) == list(parallel) == list(entries)
+        for label in entries:
+            assert_reports_identical(sequential[label], parallel[label])
+
+    def test_backends_change_observed_times(self, ssb_rounds):
+        """The same workload must get cheaper down the storage tiers."""
+        totals = {}
+        for backend in ("hdd", "ssd", "inmemory"):
+            report, _ = run_session(
+                ssb_rounds, "NoIndex", tiny_spec(backend=backend),
+                SimulationOptions(benchmark_name="ssb"),
+            )
+            totals[backend] = report.total_execution_seconds
+        assert totals["hdd"] > totals["ssd"] > totals["inmemory"]

@@ -213,10 +213,28 @@ class TestShardingConfig:
         ("shard_by", "region"),
         ("n_hash_shards", 0),
         ("shard_top_k", 0),
+        ("shard_workers", -1),
     ])
     def test_invalid_values_rejected(self, field, value):
         with pytest.raises(ValueError):
             MabConfig(**{field: value})
+
+    def test_configure_sharding_updates_workers(self, tiny_database):
+        tuner = MabTuner(tiny_database)
+        tuner.configure_sharding("table", shard_workers=4)
+        assert tuner.config.shard_workers == 4
+        # Omitted keyword leaves the worker count untouched.
+        tuner.configure_sharding("hash")
+        assert tuner.config.shard_workers == 4
+        with pytest.raises(ValueError):
+            tuner.configure_sharding("table", shard_workers=-2)
+
+    def test_worker_count_never_exceeds_shards(self, tiny_database):
+        tuner = MabTuner(tiny_database, MabConfig(shard_by="table", shard_workers=16))
+        assert tuner._shard_worker_count(n_shards=3) == 3
+        assert tuner._shard_worker_count(n_shards=40) == 16
+        tuner.configure_sharding("table", shard_workers=0)  # one per CPU
+        assert tuner._shard_worker_count(n_shards=64) >= 1
 
     def test_configure_sharding_validates_and_updates(self, tiny_database):
         tuner = MabTuner(tiny_database)
@@ -313,6 +331,32 @@ def test_sharded_parity_holds_at_aggressive_top_k(tiny_database):
         session.execute(workload_round.queries)
         session.observe()
     assert sharded == monolithic
+
+
+@pytest.mark.parametrize("workers", [2, 0])
+def test_parallel_shard_scoring_matches_serial(workers):
+    """Thread-pooled shard scoring is a pure wall-clock knob: recommendations
+    (and the diagnostics the merge produces) are identical at any worker
+    count, because shards share only the frozen scorer snapshot and merge in
+    shard order."""
+    serial, serial_tuner = run_configurations("ssb", "table")
+
+    benchmark = get_benchmark("ssb")
+    database = benchmark.create_database(sample_rows=300, seed=7)
+    rounds = StaticWorkload(database, benchmark.templates, n_rounds=6, seed=1).materialise()
+    tuner = create_tuner("MAB", database)
+    tuner.configure_sharding("table", shard_workers=workers)
+    session = TuningSession(database, tuner, SimulationOptions(benchmark_name="ssb"))
+    parallel = []
+    for workload_round in rounds:
+        recommendation = session.recommend(round_number=workload_round.round_number)
+        parallel.append(sorted(index.index_id for index in recommendation.configuration))
+        session.execute(workload_round.queries)
+        session.observe()
+
+    assert parallel == serial
+    assert tuner.last_shard_stats == serial_tuner.last_shard_stats
+    assert any(index_ids for index_ids in parallel), "runs must select something"
 
 
 def test_sharded_selection_respects_memory_budget(tiny_database):

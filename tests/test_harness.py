@@ -25,7 +25,6 @@ from repro.harness import (
     totals_summary,
 )
 from repro.workloads import StaticWorkload, get_benchmark
-from tests.conftest import make_sales_query
 
 
 def make_report(name="MAB", totals=(10.0, 20.0)) -> RunReport:

@@ -10,7 +10,7 @@ from repro.engine import (
     Predicate,
 )
 from repro.optimizer import CardinalityEstimator, Planner, WhatIfOptimizer
-from tests.conftest import make_join_query, make_sales_query
+from tests.conftest import make_sales_query
 
 
 @pytest.fixture()

@@ -1,0 +1,118 @@
+"""Unit tests for the perf-trajectory guard (``benchmarks/check_perf_trajectory.py``).
+
+The guard is CI infrastructure: it blocks a PR from silently committing a
+slower ``BENCH_recommend.json`` over the recorded trajectory.  Its comparison
+logic is tested here, inside tier-1, so the guard itself cannot rot.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_MODULE_PATH = Path(__file__).parent.parent / "benchmarks" / "check_perf_trajectory.py"
+_spec = importlib.util.spec_from_file_location("check_perf_trajectory", _MODULE_PATH)
+check_perf_trajectory = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_perf_trajectory)
+
+collect_p50s = check_perf_trajectory.collect_p50s
+compare = check_perf_trajectory.compare
+main = check_perf_trajectory.main
+
+
+def payload(p50_at_500: float, extra: dict | None = None) -> dict:
+    body = {
+        "incremental": {
+            "500": {"p50_ms": p50_at_500, "p95_ms": p50_at_500 * 2},
+            "2000": {"p50_ms": p50_at_500 * 4},
+        },
+        "recommend_sharded": {
+            "series": {"500": {"max_shard": {"p50_ms": 0.05}}},
+        },
+    }
+    body.update(extra or {})
+    return body
+
+
+class TestCollect:
+    def test_flattens_nested_series_by_json_path(self):
+        series = collect_p50s(payload(0.2))
+        assert series == {
+            "incremental.500": 0.2,
+            "incremental.2000": 0.8,
+            "recommend_sharded.series.500.max_shard": 0.05,
+        }
+
+    def test_ignores_non_numeric_and_boolean_p50(self):
+        assert collect_p50s({"a": {"p50_ms": "fast"}, "b": {"p50_ms": True}}) == {}
+
+    def test_empty_payload(self):
+        assert collect_p50s({}) == {}
+        assert collect_p50s({"smoke_mode": True, "rounds": 30}) == {}
+
+
+class TestCompare:
+    def test_within_bar_passes(self):
+        regressions, shared = compare(payload(0.2), payload(0.9), max_regression=5.0)
+        assert regressions == []
+        assert len(shared) == 3
+
+    def test_regression_beyond_bar_is_reported(self):
+        regressions, shared = compare(payload(0.2), payload(1.2), max_regression=5.0)
+        assert [name for name, *_ in regressions] == [
+            "incremental.2000",
+            "incremental.500",
+        ]
+        name, base_ms, cand_ms, ratio = regressions[1]
+        assert (base_ms, cand_ms) == (0.2, 1.2)
+        assert ratio == pytest.approx(6.0)
+
+    def test_only_shared_series_are_compared(self):
+        baseline = payload(0.2, {"retired_series": {"p50_ms": 1.0}})
+        candidate = payload(0.2, {"brand_new_series": {"p50_ms": 99.0}})
+        regressions, shared = compare(baseline, candidate, max_regression=5.0)
+        assert regressions == []
+        assert "retired_series" not in shared
+        assert "brand_new_series" not in shared
+
+    def test_zero_baseline_is_skipped(self):
+        regressions, shared = compare(
+            {"a": {"p50_ms": 0.0}}, {"a": {"p50_ms": 5.0}}, max_regression=5.0
+        )
+        assert regressions == [] and shared == []
+
+
+class TestCli:
+    def write(self, tmp_path: Path, name: str, body: dict) -> Path:
+        path = tmp_path / name
+        path.write_text(json.dumps(body))
+        return path
+
+    def test_exit_zero_on_healthy_candidate(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", payload(0.2))
+        cand = self.write(tmp_path, "cand.json", payload(0.3))
+        assert main([str(base), str(cand)]) == 0
+        assert "3 series compared" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", payload(0.2))
+        cand = self.write(tmp_path, "cand.json", payload(2.5))
+        assert main([str(base), str(cand), "--max-regression", "5"]) == 1
+        assert "FAIL incremental.500" in capsys.readouterr().err
+
+    def test_exit_two_on_missing_file_or_no_overlap(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", payload(0.2))
+        assert main([str(base), str(tmp_path / "absent.json")]) == 2
+        other = self.write(tmp_path, "other.json", {"unrelated": {"p50_ms": 1.0}})
+        assert main([str(base), str(other)]) == 2
+        assert "no overlapping" in capsys.readouterr().err
+
+    def test_committed_artifact_is_a_valid_baseline(self, tmp_path):
+        """The file in the repo must always work as the guard's baseline."""
+        committed = Path(__file__).parent.parent / "benchmarks" / "results" / "BENCH_recommend.json"
+        series = collect_p50s(json.loads(committed.read_text()))
+        assert "incremental.500" in series
+        assert all(value > 0 for value in series.values())
