@@ -1,22 +1,28 @@
 """Guard the committed perf trajectory against silent regressions.
 
-``benchmarks/results/BENCH_recommend.json`` is the PR-to-PR record of the
-recommend/observe hot-loop latencies.  Overwriting it with worse numbers —
-because a change made the loop slower and nobody compared — would quietly
-reset the trajectory the ROADMAP tracks.  This script compares a freshly
-measured candidate file against the committed baseline and fails when any
-shared series' p50 regressed beyond an allowed factor.
+The ``GUARDED_FILES`` under ``benchmarks/results/`` are the PR-to-PR record
+of the hot-loop latencies (``BENCH_recommend.json``) and the per-placement
+session step times (``BENCH_tiered.json``).  Overwriting one with worse
+numbers — because a change made the loop slower and nobody compared — would
+quietly reset the trajectory the ROADMAP tracks.  This script compares
+freshly measured candidates against the committed baselines and fails when
+any shared series' p50 regressed beyond an allowed factor.
 
 Every dict carrying a ``p50_ms`` key is treated as one series, addressed by
 its JSON path (e.g. ``incremental.500`` or
-``recommend_sharded.series.2000.max_shard``), so new series added by later
-PRs are picked up automatically — only series present in *both* files are
-compared, and at least one overlapping series is required.
+``placements.hot_cold.wall_step``), so new series added by later PRs are
+picked up automatically — only series present in *both* files are compared,
+and at least one overlapping series is required.
 
-Usage (what the ``perf-trajectory`` CI job runs)::
+Usage (what the ``perf-trajectory`` CI job runs) — either one file pair::
 
     python benchmarks/check_perf_trajectory.py \
         baseline.json candidate.json --max-regression 5.0
+
+or two directories, comparing every guarded file present in both::
+
+    python benchmarks/check_perf_trajectory.py \
+        /tmp/baseline_results benchmarks/results --max-regression 5.0
 """
 
 from __future__ import annotations
@@ -25,6 +31,9 @@ import argparse
 import json
 import sys
 from pathlib import Path
+
+#: Result files under benchmarks/results/ guarded in directory mode.
+GUARDED_FILES = ("BENCH_recommend.json", "BENCH_tiered.json")
 
 
 def collect_p50s(payload, prefix: str = "") -> dict[str, float]:
@@ -66,10 +75,37 @@ def compare(
     return regressions, shared
 
 
+def file_pairs(baseline: Path, candidate: Path) -> list[tuple[str, Path, Path]]:
+    """Expand the two arguments into ``(label, baseline, candidate)`` pairs.
+
+    Two files compare directly; two directories compare every
+    :data:`GUARDED_FILES` entry present in *both* (at least one required).
+    """
+    if baseline.is_dir() != candidate.is_dir():
+        raise ValueError("pass two files or two directories, not a mixture")
+    if not baseline.is_dir():
+        return [(baseline.name, baseline, candidate)]
+    pairs = [
+        (name, baseline / name, candidate / name)
+        for name in GUARDED_FILES
+        if (baseline / name).is_file() and (candidate / name).is_file()
+    ]
+    if not pairs:
+        raise ValueError(
+            f"no guarded files present in both directories (looked for: "
+            f"{', '.join(GUARDED_FILES)})"
+        )
+    return pairs
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", type=Path, help="committed BENCH_recommend.json")
-    parser.add_argument("candidate", type=Path, help="freshly measured BENCH_recommend.json")
+    parser.add_argument(
+        "baseline", type=Path, help="committed results file (or directory of them)"
+    )
+    parser.add_argument(
+        "candidate", type=Path, help="freshly measured results file (or directory)"
+    )
     parser.add_argument(
         "--max-regression",
         type=float,
@@ -79,25 +115,43 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     try:
-        baseline = json.loads(args.baseline.read_text())
-        candidate = json.loads(args.candidate.read_text())
-    except (OSError, json.JSONDecodeError) as error:
+        pairs = file_pairs(args.baseline, args.candidate)
+        loaded = [
+            (label, json.loads(base.read_text()), json.loads(cand.read_text()))
+            for label, base, cand in pairs
+        ]
+    except (OSError, json.JSONDecodeError, ValueError) as error:
         print(f"perf-trajectory: cannot load inputs: {error}", file=sys.stderr)
         return 2
 
-    regressions, shared = compare(baseline, candidate, args.max_regression)
-    if not shared:
+    all_regressions: list[tuple[str, float, float, float]] = []
+    all_shared: list[str] = []
+    for label, baseline, candidate in loaded:
+        prefix = f"{label}:" if len(loaded) > 1 else ""
+        regressions, shared = compare(baseline, candidate, args.max_regression)
+        all_regressions.extend(
+            (f"{prefix}{name}", base_ms, cand_ms, ratio)
+            for name, base_ms, cand_ms, ratio in regressions
+        )
+        all_shared.extend(f"{prefix}{name}" for name in shared)
+    if not all_shared:
         print("perf-trajectory: no overlapping p50 series to compare", file=sys.stderr)
         return 2
 
-    regressed = {name for name, *_ in regressions}
-    print(f"perf-trajectory: {len(shared)} series compared (x{args.max_regression} bar)")
-    for name in shared:
+    regressed = {name for name, *_ in all_regressions}
+    print(
+        f"perf-trajectory: {len(all_shared)} series compared "
+        f"(x{args.max_regression} bar)"
+    )
+    for name in all_shared:
         if name not in regressed:
             print(f"  ok  {name}")
-    if regressions:
-        print(f"perf-trajectory: {len(regressions)} series regressed:", file=sys.stderr)
-        for name, base_ms, cand_ms, ratio in regressions:
+    if all_regressions:
+        print(
+            f"perf-trajectory: {len(all_regressions)} series regressed:",
+            file=sys.stderr,
+        )
+        for name, base_ms, cand_ms, ratio in all_regressions:
             print(
                 f"  FAIL {name}: p50 {base_ms:.4f} ms -> {cand_ms:.4f} ms "
                 f"({ratio:.1f}x, bar {args.max_regression}x)",

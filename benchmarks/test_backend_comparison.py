@@ -1,8 +1,9 @@
 """Multi-backend tuning comparison: does the bandit adapt to the storage tier?
 
 Races the same MAB tuner over the identical TPC-H quick workload on each
-registered backend profile (``hdd``/``ssd``/``inmemory``) and records, per
-backend, the convergence series and the final index configuration.  The
+registered backend profile (``hdd``/``ssd``/``inmemory``/``cloud``) and
+records, per backend, the convergence series and the final index
+configuration.  The
 point of the scenario axis: index economics change with the storage tier —
 random I/O is what secondary indexes buy their keep with, so when it gets
 ~25x cheaper (ssd) the tuner should converge to a *different*, typically

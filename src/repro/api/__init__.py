@@ -8,8 +8,11 @@ Everything a downstream caller needs lives here:
 * the storage-backend registry — :class:`BackendProfile`,
   :func:`register_backend`, :func:`get_backend`,
   :func:`registered_backend_names` — selecting the cost-model tier
-  (``hdd``/``ssd``/``inmemory``) a database is priced on, via
-  ``DatabaseSpec(backend=...)`` or ``SimulationOptions(backend=...)``;
+  (``hdd``/``ssd``/``inmemory``/``cloud``) a database is priced on, via
+  ``DatabaseSpec(backend=...)`` or ``SimulationOptions(backend=...)``,
+  including *per table*: ``table_backends={"lineitem": "inmemory"}`` or a
+  declarative :class:`TieredBackend` hot/cold split, in the same three
+  spellings;
 * session-based tuning — :class:`TuningSession` with its explicit
   ``recommend() / execute(queries) / observe()`` cycle and one-shot
   ``step(queries)``, for callers streaming their own workload
@@ -27,7 +30,9 @@ workload.
 
 from repro.engine.backend import (
     BackendProfile,
+    TieredBackend,
     UnknownBackendError,
+    UnknownPlacementTableError,
     get_backend,
     register_backend,
     registered_backend_names,
@@ -60,10 +65,12 @@ __all__ = [
     "RunReport",
     "SimulationOptions",
     "SimulationTrace",
+    "TieredBackend",
     "Tuner",
     "TunerSpec",
     "TuningSession",
     "UnknownBackendError",
+    "UnknownPlacementTableError",
     "UnknownTunerError",
     "create_tuner",
     "execute_round",

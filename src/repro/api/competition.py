@@ -21,7 +21,7 @@ from typing import TYPE_CHECKING, Callable, Mapping, Union
 
 import multiprocessing
 
-from repro.engine.backend import BackendProfile
+from repro.engine.backend import BackendProfile, PlacementLike
 from repro.engine.catalog import Database
 from repro.harness.metrics import RunReport
 from repro.interface import Tuner
@@ -45,9 +45,14 @@ class DatabaseSpec:
     Calling the spec (or :meth:`create`) materialises a fresh database, so it
     slots in anywhere a ``database_factory`` is expected — including across
     process boundaries, where closures cannot travel.  ``backend`` names the
-    storage tier the database's cost model prices operators with (a registered
-    profile name or a :class:`~repro.engine.BackendProfile` instance — both
-    pickle cleanly); ``None`` keeps the default ``hdd`` tier.
+    default storage tier the database's cost model prices operators with (a
+    registered profile name or a :class:`~repro.engine.BackendProfile`
+    instance — both pickle cleanly); ``None`` keeps the default ``hdd`` tier.
+    ``table_backends`` places individual tables on their own tiers — a
+    ``{table: backend}`` mapping of overrides on top of ``backend``, or a
+    :class:`~repro.engine.TieredBackend` hot/cold split (which names both
+    tiers itself; don't combine with ``backend``) — and pickles across
+    workers in every spelling.
     """
 
     benchmark_name: str
@@ -56,6 +61,7 @@ class DatabaseSpec:
     seed: int = 7
     memory_budget_multiplier: float | None = 1.0
     backend: "str | BackendProfile | None" = None
+    table_backends: PlacementLike = None
 
     def create(self) -> Database:
         from repro.workloads.registry import get_benchmark
@@ -66,6 +72,7 @@ class DatabaseSpec:
             seed=self.seed,
             memory_budget_multiplier=self.memory_budget_multiplier,
             backend=self.backend,
+            table_backends=self.table_backends,
         )
 
     def __call__(self) -> Database:

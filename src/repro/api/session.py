@@ -29,7 +29,7 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
-from repro.engine.backend import BackendProfile
+from repro.engine.backend import BackendProfile, PlacementLike, TieredBackend
 from repro.engine.catalog import ConfigurationChange, Database
 from repro.engine.execution import ExecutionResult, Executor
 from repro.engine.query import Query
@@ -76,12 +76,21 @@ class SimulationOptions:
             — NoIndex, PDTool, the DDQN agents — ignore the knob.
         backend: Storage-backend profile applied to the session's database
             before the first round (a registered name such as ``"hdd"``,
-            ``"ssd"``, ``"inmemory"``, or a
+            ``"ssd"``, ``"inmemory"``, ``"cloud"``, or a
             :class:`~repro.engine.BackendProfile` instance).  ``None`` keeps
             whatever backend the database was built with.  Like ``shard_by``
             this is a lasting change — the session calls
             :meth:`repro.engine.Database.set_backend` on *its* database —
             and both spellings pickle cleanly across
+            ``run_competition(workers>1)`` boundaries.
+        table_backends: Per-table placement applied to the session's database
+            after ``backend`` (a ``{table: backend}`` mapping of overrides,
+            or a :class:`~repro.engine.TieredBackend` hot/cold split that
+            names both tiers itself — combining the latter with ``backend``
+            raises ``ValueError``).  ``None`` keeps the database's current
+            placement.
+            Applied via :meth:`repro.engine.Database.set_table_backends` (a
+            lasting change, like ``backend``); every spelling pickles across
             ``run_competition(workers>1)`` boundaries.
     """
 
@@ -97,6 +106,8 @@ class SimulationOptions:
     shard_by: str | None = None
     #: Storage-backend profile for the session's database (``None`` = keep).
     backend: "str | BackendProfile | None" = None
+    #: Per-table placement for the session's database (``None`` = keep).
+    table_backends: PlacementLike = None
 
 
 @dataclass
@@ -166,15 +177,33 @@ class TuningSession:
 
         Raises:
             ValueError: If ``options.shard_by`` names an unknown strategy
-                (propagated from the tuner's config validation).
-            repro.engine.UnknownBackendError: If ``options.backend`` names a
-                backend profile nobody registered.
+                (propagated from the tuner's config validation), or if
+                ``options.backend`` is combined with a
+                :class:`~repro.engine.TieredBackend` placement (which names
+                both tiers itself).
+            repro.engine.UnknownBackendError: If ``options.backend`` or a
+                backend inside ``options.table_backends`` names a profile
+                nobody registered.
+            repro.engine.UnknownPlacementTableError: If
+                ``options.table_backends`` names a table the database does
+                not have.
         """
         self.database = database
         self.tuner = tuner
         self.options = options or SimulationOptions()
+        if self.options.backend is not None and isinstance(
+            self.options.table_backends, TieredBackend
+        ):
+            # Mirror the Database constructor: a TieredBackend names both
+            # tiers itself, so a separate backend would be silently dropped.
+            raise ValueError(
+                "a TieredBackend names both tiers itself; "
+                "set options.backend or options.table_backends, not both"
+            )
         if self.options.backend is not None:
             database.set_backend(self.options.backend)
+        if self.options.table_backends is not None:
+            database.set_table_backends(self.options.table_backends)
         if self.options.shard_by is not None and hasattr(tuner, "configure_sharding"):
             tuner.configure_sharding(self.options.shard_by)
         self.planner = Planner(database)

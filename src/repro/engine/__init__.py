@@ -10,11 +10,15 @@ exposes the what-if interface) lives in :mod:`repro.optimizer`.
 from .backend import (
     BackendLike,
     BackendProfile,
+    PlacementLike,
+    TieredBackend,
     UnknownBackendError,
+    UnknownPlacementTableError,
     get_backend,
     register_backend,
     registered_backend_names,
     resolve_backend,
+    resolve_placement,
 )
 from .catalog import ConfigurationChange, Database
 from .cost_model import CostModel, CostModelParameters, pages_touched_by_random_fetches
@@ -86,6 +90,7 @@ __all__ = [
     "MemoryBudgetExceededError",
     "Operator",
     "PAGE_SIZE_BYTES",
+    "PlacementLike",
     "Predicate",
     "Query",
     "QueryPlan",
@@ -99,9 +104,11 @@ __all__ = [
     "TableData",
     "TableSpec",
     "TableStatistics",
+    "TieredBackend",
     "UniformFloat",
     "UniformInt",
     "UnknownBackendError",
+    "UnknownPlacementTableError",
     "UnknownColumnError",
     "UnknownIndexError",
     "UnknownTableError",
@@ -118,5 +125,6 @@ __all__ = [
     "registered_backend_names",
     "remove_prefix_redundant",
     "resolve_backend",
+    "resolve_placement",
     "scale_rows",
 ]

@@ -4,10 +4,16 @@ Every timing constant of the engine's "true" cost model lives in a
 :class:`BackendProfile` — a frozen, picklable bundle describing one storage
 tier.  The paper's testbed (10K RPM disks, cold buffer cache) is the ``hdd``
 profile and stays the default, so existing experiments are bit-identical;
-``ssd`` and ``inmemory`` open a new scenario axis: the *same* workload on the
-same data produces very different index economics when random I/O is cheap
-(seeks lose their edge over scans, and the CPU-bound sort inside index
-creation stops being amortised by huge I/O savings).
+``ssd``, ``inmemory`` and ``cloud`` open a new scenario axis: the *same*
+workload on the same data produces very different index economics when random
+I/O is cheap (seeks lose their edge over scans, and the CPU-bound sort inside
+index creation stops being amortised by huge I/O savings) or ruinously
+latency-bound (the object store).
+
+Profiles also place *per table*: a ``{table: backend}`` mapping (or the
+declarative :class:`TieredBackend` hot/cold split) resolves through
+:func:`resolve_placement` into per-table overrides the cost model consults on
+every operator, so a join spanning tiers charges each side at its own tier.
 
 Profiles are looked up by name through a registry that mirrors the tuner
 registry (:func:`repro.api.register_tuner`): built-ins register at import
@@ -27,18 +33,23 @@ and the name immediately works everywhere a backend is accepted —
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Union
+from typing import Callable, Iterable, Mapping, Union
 
+from .errors import UnknownTableError
 from .storage import PAGE_SIZE_BYTES
 
 __all__ = [
     "BackendProfile",
     "BackendLike",
+    "PlacementLike",
+    "TieredBackend",
     "UnknownBackendError",
+    "UnknownPlacementTableError",
     "get_backend",
     "register_backend",
     "registered_backend_names",
     "resolve_backend",
+    "resolve_placement",
 ]
 
 
@@ -201,6 +212,116 @@ def resolve_backend(backend: BackendLike) -> BackendProfile:
 
 
 # --------------------------------------------------------------------- #
+# per-table placement
+# --------------------------------------------------------------------- #
+class UnknownPlacementTableError(UnknownTableError, KeyError, ValueError):
+    """A per-table placement named a table the database does not have.
+
+    Mirrors :class:`UnknownBackendError`: subclasses both :class:`KeyError`
+    and :class:`ValueError` (on top of the engine's
+    :class:`~repro.engine.errors.UnknownTableError`) and the message lists
+    every valid table name.
+    """
+
+    # KeyError.__str__ reprs the message (extra quotes); render it plainly.
+    __str__ = Exception.__str__
+
+    def __init__(self, table_name: str, known_tables: Iterable[str]):
+        known = ", ".join(sorted(known_tables))
+        Exception.__init__(
+            self,
+            f"unknown table in placement: {table_name!r}; tables: {known}",
+        )
+        self.table_name = table_name
+
+
+def resolve_placement(
+    table_backends: "Mapping[str, BackendLike] | None",
+    table_names: Iterable[str],
+) -> dict[str, BackendProfile]:
+    """Resolve a ``{table: backend}`` mapping against the known table names.
+
+    Every backend spelling goes through :func:`resolve_backend`; every table
+    name must be one of ``table_names``.
+
+    Raises:
+        UnknownPlacementTableError: For a table name the database does not
+            have (the message lists every valid name).
+        UnknownBackendError: For a backend name nobody registered.
+    """
+    known = set(table_names)
+    resolved: dict[str, BackendProfile] = {}
+    for table_name, backend in (table_backends or {}).items():
+        if table_name not in known:
+            raise UnknownPlacementTableError(table_name, known)
+        resolved[table_name] = resolve_backend(backend)
+    return resolved
+
+
+@dataclass(frozen=True)
+class TieredBackend:
+    """A declarative hot/cold placement: hot tables on one tier, rest on another.
+
+    The classic hybrid deployment — the small, frequently joined dimension
+    tables pinned in memory while the large fact tables stay on disk —
+    expressed as data instead of a hand-built mapping::
+
+        TieredBackend(hot_tables=("nation", "region", "customer"))
+
+    ``hot`` and ``cold`` accept any backend spelling (a registered name or a
+    :class:`BackendProfile`).  Instances are frozen and picklable, so they
+    travel through :func:`repro.api.run_competition` workers exactly like
+    plain profiles, and they slot in anywhere ``table_backends`` is accepted
+    (:class:`~repro.engine.Database`, :class:`repro.api.DatabaseSpec`,
+    :class:`repro.api.SimulationOptions`).
+    """
+
+    hot_tables: tuple[str, ...]
+    hot: "str | BackendProfile" = "inmemory"
+    cold: "str | BackendProfile" = "hdd"
+
+    def __post_init__(self) -> None:
+        if isinstance(self.hot_tables, str):
+            # tuple("lineitem") would silently become per-character "tables"
+            raise TypeError(
+                "hot_tables must be an iterable of table names, not a string; "
+                f"did you mean hot_tables=({self.hot_tables!r},)?"
+            )
+        object.__setattr__(self, "hot_tables", tuple(self.hot_tables))
+
+    @property
+    def hot_profile(self) -> BackendProfile:
+        return resolve_backend(self.hot)
+
+    @property
+    def cold_profile(self) -> BackendProfile:
+        return resolve_backend(self.cold)
+
+    def placement(
+        self, table_names: Iterable[str]
+    ) -> tuple[BackendProfile, dict[str, BackendProfile]]:
+        """Resolve into ``(default profile, per-table overrides)``.
+
+        The cold tier becomes the default profile and every hot table gets an
+        override, validated against ``table_names``.
+
+        Raises:
+            UnknownPlacementTableError: For a hot table the database does not
+                have.
+        """
+        hot = self.hot_profile
+        overrides = resolve_placement(
+            {name: hot for name in self.hot_tables}, table_names
+        )
+        return self.cold_profile, overrides
+
+
+#: Anything accepted where a per-table placement is expected: a
+#: ``{table: backend}`` mapping, a :class:`TieredBackend`, or ``None``.
+PlacementLike = Union[Mapping[str, BackendLike], TieredBackend, None]
+
+
+# --------------------------------------------------------------------- #
 # built-in profiles
 # --------------------------------------------------------------------- #
 @register_backend("hdd", "disk", "default")
@@ -246,4 +367,28 @@ def _inmemory() -> BackendProfile:
         per_query_overhead_seconds=0.005,
         sort_spill_threshold_bytes=1 << 62,
         index_drop_seconds=0.001,
+    )
+
+
+@register_backend("cloud", "s3", "object_store")
+def _cloud() -> BackendProfile:
+    """Cloud object storage: latency-dominated reads over decent bandwidth.
+
+    Each uncached page fetch is an HTTP GET paying milliseconds of first-byte
+    latency — a random/sequential ratio near ~250, far past even the HDD's
+    ~4.9 — while large sequential transfers stream at a respectable rate
+    (reads faster than writes: the asymmetric bandwidths matter for the
+    sort-spill billing, whose read pass is cheaper than its write pass here).
+    Index economics invert twice: scattered heap lookups are ruinous, so only
+    *covering* indexes (and the scan they replace) earn their build cost, and
+    the fat per-query overhead drowns small savings entirely.
+    """
+    return BackendProfile(
+        name="cloud",
+        description="object store: per-request latency dominates, sequential reads stream",
+        sequential_read_bytes_per_second=500e6,
+        sequential_write_bytes_per_second=200e6,
+        random_page_read_seconds=4.0e-3,
+        per_query_overhead_seconds=0.15,
+        index_drop_seconds=0.2,
     )

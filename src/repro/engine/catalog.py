@@ -13,7 +13,15 @@ from typing import Iterable, Mapping
 
 import numpy as np
 
-from .backend import BackendLike, BackendProfile, resolve_backend
+from .backend import (
+    BackendLike,
+    BackendProfile,
+    PlacementLike,
+    TieredBackend,
+    UnknownPlacementTableError,
+    resolve_backend,
+    resolve_placement,
+)
 from .cost_model import CostModel, CostModelParameters
 from .datagen import TableSpec
 from .errors import (
@@ -63,9 +71,17 @@ class Database:
         (0 reproduces plain uniformity assumptions).
     backend:
         Storage-backend profile (a registered name such as ``"hdd"``,
-        ``"ssd"``, ``"inmemory"`` or a :class:`BackendProfile` instance) the
-        cost model prices operators with.  Mutually exclusive with an
-        explicit ``cost_model``; ``None`` keeps the default ``hdd`` tier.
+        ``"ssd"``, ``"inmemory"``, ``"cloud"`` or a :class:`BackendProfile`
+        instance) the cost model prices operators with.  Mutually exclusive
+        with an explicit ``cost_model``; ``None`` keeps the default ``hdd``
+        tier.
+    table_backends:
+        Per-table placement: a ``{table: backend}`` mapping of overrides on
+        top of ``backend``'s default tier, or a declarative
+        :class:`~repro.engine.TieredBackend` hot/cold split (which names both
+        tiers itself and is therefore mutually exclusive with ``backend``).
+        Unknown table names raise
+        :class:`~repro.engine.UnknownPlacementTableError`.
     """
 
     def __init__(
@@ -76,6 +92,7 @@ class Database:
         cost_model: CostModel | None = None,
         histogram_buckets: int = 0,
         backend: BackendLike = None,
+        table_backends: PlacementLike = None,
     ) -> None:
         self.schema = schema
         self._tables: dict[str, TableData] = dict(tables)
@@ -83,11 +100,14 @@ class Database:
             if table_name not in self._tables:
                 raise UnknownTableError(table_name)
         self.memory_budget_bytes = memory_budget_bytes
-        if backend is not None and cost_model is not None:
-            raise ValueError("pass either cost_model or backend, not both")
-        if backend is not None:
-            cost_model = CostModel(resolve_backend(backend))
-        self.cost_model = cost_model or CostModel()
+        if cost_model is not None and (backend is not None or table_backends is not None):
+            raise ValueError(
+                "pass either cost_model or backend/table_backends, not both"
+            )
+        if cost_model is None:
+            default, overrides = self._resolve_placement_spec(backend, table_backends)
+            cost_model = CostModel(default, overrides)
+        self.cost_model = cost_model
         self._indexes: dict[str, IndexDefinition] = {}
         self._index_sizes: dict[str, int] = {}
         self._histogram_buckets = histogram_buckets
@@ -100,6 +120,22 @@ class Database:
         self._statistics = StatisticsCatalog()
         for data in self._tables.values():
             self._statistics.add(build_table_statistics(data, histogram_buckets=histogram_buckets))
+
+    def _resolve_placement_spec(
+        self, backend: BackendLike, table_backends: PlacementLike
+    ) -> tuple[BackendProfile, dict[str, BackendProfile]]:
+        """Resolve ``(backend, table_backends)`` into ``(default, overrides)``."""
+        if isinstance(table_backends, TieredBackend):
+            if backend is not None:
+                raise ValueError(
+                    "a TieredBackend names both tiers itself; "
+                    "pass either backend or a TieredBackend, not both"
+                )
+            return table_backends.placement(self._tables)
+        return (
+            resolve_backend(backend),
+            resolve_placement(table_backends, self._tables),
+        )
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -115,16 +151,20 @@ class Database:
         cost_model_parameters: CostModelParameters | None = None,
         histogram_buckets: int = 0,
         backend: BackendLike = None,
+        table_backends: PlacementLike = None,
     ) -> "Database":
         """Generate table samples from specs and assemble a database.
 
-        ``backend`` selects the storage tier the cost model prices operators
-        with (see :mod:`repro.engine.backend`); ``cost_model_parameters`` is
-        the older spelling accepting a raw profile, and the two are mutually
-        exclusive.
+        ``backend`` selects the default storage tier the cost model prices
+        operators with and ``table_backends`` places individual tables on
+        their own tiers (see :mod:`repro.engine.backend`);
+        ``cost_model_parameters`` is the older spelling accepting a raw
+        profile, mutually exclusive with ``backend``.
         """
         if backend is not None and cost_model_parameters is not None:
             raise ValueError("pass either cost_model_parameters or backend, not both")
+        if cost_model_parameters is not None:
+            backend = cost_model_parameters
         rng = np.random.default_rng(seed)
         tables: dict[str, TableData] = {}
         for spec in table_specs:
@@ -138,13 +178,13 @@ class Database:
             tables[spec.table_name] = build_table_data(
                 table, sample, spec.row_count, distinct_hints=distinct_hints
             )
-        profile = resolve_backend(backend if backend is not None else cost_model_parameters)
         return cls(
             schema=schema,
             tables=tables,
             memory_budget_bytes=memory_budget_bytes,
-            cost_model=CostModel(profile),
             histogram_buckets=histogram_buckets,
+            backend=backend,
+            table_backends=table_backends,
         )
 
     # ------------------------------------------------------------------ #
@@ -166,16 +206,34 @@ class Database:
 
     @property
     def backend_profile(self) -> BackendProfile:
-        """The storage-backend profile the cost model prices operators with."""
+        """The *default* storage-backend profile (tables without an override)."""
         return self.cost_model.profile
 
+    @property
+    def table_backends(self) -> dict[str, BackendProfile]:
+        """Per-table overrides in effect (tables on the default tier omitted)."""
+        return dict(self.cost_model.table_profiles)
+
+    def backend_profile_for(self, table_name: str) -> BackendProfile:
+        """The effective profile one table is priced at (override or default)."""
+        self.table_data(table_name)  # validates the name
+        return self.cost_model.profile_for(table_name)
+
     def set_backend(self, backend: BackendLike) -> BackendProfile:
-        """Re-time the database for a different storage backend.
+        """Re-time the *whole* database for a uniform storage backend.
 
         Swaps the cost model for one built on ``backend`` (a registered name
-        or a :class:`BackendProfile`).  Data, statistics and index *sizes*
-        are byte quantities independent of the storage tier, so they stay
-        valid; only the seconds the cost model reports change.
+        or a :class:`BackendProfile`) and **clears any per-table placement**
+        — after ``set_backend`` every table prices at the one named tier, so
+        ``set_backend("ssd")`` followed by ``set_backend("hdd")`` restores a
+        fresh-``hdd`` database exactly.
+
+        Nothing else needs invalidating: every cached quantity derived from
+        the data — the total data size, materialised *and* hypothetical index
+        sizes, the statistics catalog and the tuners' size-ratio context
+        features built from them — is a byte quantity independent of the
+        storage tier.  Only the seconds the cost model reports change, and
+        those are recomputed from the new profile on every call.
 
         Returns:
             The resolved profile now in effect.
@@ -186,6 +244,63 @@ class Database:
         profile = resolve_backend(backend)
         self.cost_model = CostModel(profile)
         return profile
+
+    def set_table_backend(self, table_name: str, backend: BackendLike) -> BackendProfile:
+        """Place one table on its own storage tier (the default tier stays).
+
+        Takes effect immediately — a live session's very next plan and
+        execution price the table at its new tier, which is what makes
+        mid-run :meth:`promote`/:meth:`demote` a benchmarkable workload
+        shift.
+
+        Returns:
+            The resolved profile the table is now priced at.
+
+        Raises:
+            repro.engine.UnknownPlacementTableError: For a table the database
+                does not have (the message lists every table).
+            repro.engine.UnknownBackendError: For an unregistered name.
+        """
+        if table_name not in self._tables:
+            raise UnknownPlacementTableError(table_name, self._tables)
+        profile = resolve_backend(backend)
+        overrides = dict(self.cost_model.table_profiles)
+        overrides[table_name] = profile
+        self.cost_model = CostModel(self.cost_model.parameters, overrides)
+        return profile
+
+    def set_table_backends(self, table_backends: PlacementLike) -> dict[str, BackendProfile]:
+        """Replace the entire per-table placement.
+
+        A ``{table: backend}`` mapping replaces the overrides (keeping the
+        current default tier); a :class:`~repro.engine.TieredBackend` replaces
+        the default tier *and* the overrides with its cold/hot split.
+
+        Returns:
+            The per-table overrides now in effect.
+        """
+        if isinstance(table_backends, TieredBackend):
+            default, overrides = table_backends.placement(self._tables)
+        else:
+            default = self.cost_model.parameters
+            overrides = resolve_placement(table_backends, self._tables)
+        self.cost_model = CostModel(default, overrides)
+        return dict(overrides)
+
+    def promote(self, table_name: str, backend: BackendLike = "inmemory") -> BackendProfile:
+        """Move a table up to a faster tier mid-run (default: into memory)."""
+        return self.set_table_backend(table_name, backend)
+
+    def demote(self, table_name: str, backend: BackendLike = None) -> BackendProfile:
+        """Move a table back down; ``None`` returns it to the default tier."""
+        if backend is not None:
+            return self.set_table_backend(table_name, backend)
+        if table_name not in self._tables:
+            raise UnknownPlacementTableError(table_name, self._tables)
+        overrides = dict(self.cost_model.table_profiles)
+        overrides.pop(table_name, None)
+        self.cost_model = CostModel(self.cost_model.parameters, overrides)
+        return self.cost_model.parameters
 
     @property
     def data_size_bytes(self) -> int:
@@ -321,6 +436,11 @@ class Database:
     def summary(self) -> dict:
         return {
             "schema": self.schema.name,
+            "backend": self.backend_profile.name,
+            "table_backends": {
+                name: profile.name
+                for name, profile in sorted(self.cost_model.table_profiles.items())
+            },
             "tables": {name: data.summary() for name, data in sorted(self._tables.items())},
             "data_size_mb": round(self.data_size_bytes / (1024 * 1024), 2),
             "memory_budget_mb": (

@@ -128,14 +128,22 @@ class Executor:
                 )
             )
 
-        # Join pipeline.
+        # Join pipeline.  The probe/outer stream is priced at the tier of the
+        # driving table feeding it (intermediate results inherit that tier);
+        # each inner side is priced at its own table's tier.
         join_seconds = 0.0
-        current_rows = per_table_rows.get(plan.driving_table or query.tables[0], 1)
+        driving_data = self.database.table_data(plan.driving_table or query.tables[0])
+        current_rows = per_table_rows.get(driving_data.table.name, 1)
         for step in plan.join_steps:
             inner_data = self.database.table_data(step.inner_table)
             inner_rows = per_table_rows[step.inner_table]
             if step.method is JoinMethod.HASH_JOIN:
-                join_seconds += cost_model.hash_join_seconds(inner_rows, current_rows)
+                join_seconds += cost_model.hash_join_seconds(
+                    inner_rows,
+                    current_rows,
+                    build_data=inner_data,
+                    probe_data=driving_data,
+                )
             else:
                 if step.index is None:
                     raise ExecutionError(
@@ -149,6 +157,7 @@ class Executor:
                     inner_data=inner_data,
                     rows_per_probe=rows_per_probe,
                     covering=step.covering,
+                    outer_data=driving_data,
                 )
                 access_results.append(
                     TableAccessResult(

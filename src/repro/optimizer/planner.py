@@ -155,6 +155,9 @@ class Planner:
         joined: set[str] = {driving_table}
         remaining = [name for name in ordered if name != driving_table]
         current_rows = estimated_rows[driving_table]
+        # The probe/outer stream of every join step prices at the driving
+        # table's tier (matching the executor's cross-tier accounting).
+        driving_data = self.database.table_data(driving_table)
         join_steps: list[JoinStep] = []
         total_join_cost = 0.0
 
@@ -170,6 +173,7 @@ class Planner:
                 estimated_rows[next_table],
                 accesses[next_table],
                 indexes_by_table.get(next_table, []),
+                driving_data,
             )
             join_steps.append(step)
             total_join_cost += step_cost
@@ -207,6 +211,7 @@ class Planner:
         inner_rows: float,
         inner_access: TableAccessPlan,
         inner_indexes: list[IndexDefinition],
+        outer_data=None,
     ) -> tuple[JoinStep, float, float]:
         cost_model = self.database.cost_model
         inner_data = self.database.table_data(inner_table)
@@ -221,7 +226,10 @@ class Planner:
             )
 
         # Option 1: hash join (build on the inner input, probe with the outer).
-        hash_cost = cost_model.hash_join_seconds(int(inner_rows), int(outer_rows))
+        hash_cost = cost_model.hash_join_seconds(
+            int(inner_rows), int(outer_rows),
+            build_data=inner_data, probe_data=outer_data,
+        )
         hash_cost += inner_access.estimated_seconds
         best_step = JoinStep(
             inner_table=inner_table,
@@ -247,6 +255,7 @@ class Planner:
                     inner_data=inner_data,
                     rows_per_probe=rows_per_probe,
                     covering=covering,
+                    outer_data=outer_data,
                 )
                 if inl_cost < best_cost:
                     best_cost = inl_cost

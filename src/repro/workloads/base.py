@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.engine.backend import BackendLike
+from repro.engine.backend import BackendLike, PlacementLike
 from repro.engine.catalog import Database
 from repro.engine.cost_model import CostModelParameters
 from repro.engine.datagen import TableSpec
@@ -73,6 +73,7 @@ class Benchmark:
         cost_model_parameters: CostModelParameters | None = None,
         histogram_buckets: int = 0,
         backend: BackendLike = None,
+        table_backends: PlacementLike = None,
     ) -> Database:
         """Materialise the benchmark database.
 
@@ -80,10 +81,12 @@ class Benchmark:
         equals the multiplier times the data size (1x by default).  ``None``
         disables the budget.
 
-        ``backend`` selects the storage tier (a registered profile name such
-        as ``"hdd"``/``"ssd"``/``"inmemory"`` or a
+        ``backend`` selects the default storage tier (a registered profile
+        name such as ``"hdd"``/``"ssd"``/``"inmemory"``/``"cloud"`` or a
         :class:`~repro.engine.BackendProfile`); ``None`` keeps the paper's
-        HDD constants.
+        HDD constants.  ``table_backends`` places individual tables on their
+        own tiers — a ``{table: backend}`` mapping of overrides or a
+        :class:`~repro.engine.TieredBackend` hot/cold split.
         """
         specs = self.table_specs(scale_factor)
         database = Database.from_specs(
@@ -95,6 +98,7 @@ class Benchmark:
             cost_model_parameters=cost_model_parameters,
             histogram_buckets=histogram_buckets,
             backend=backend,
+            table_backends=table_backends,
         )
         if memory_budget_multiplier is not None:
             database.memory_budget_bytes = int(database.data_size_bytes * memory_budget_multiplier)

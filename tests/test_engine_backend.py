@@ -40,7 +40,7 @@ def tiny_database() -> Database:
 # --------------------------------------------------------------------- #
 class TestRegistry:
     def test_builtin_names_registered(self):
-        assert registered_backend_names() == ["hdd", "ssd", "inmemory"]
+        assert registered_backend_names() == ["hdd", "ssd", "inmemory", "cloud"]
 
     def test_lookup_by_name_and_alias(self):
         for name, expected in [
@@ -54,6 +54,9 @@ class TestRegistry:
             ("inmemory", "inmemory"),
             ("in-memory", "inmemory"),
             ("ram", "inmemory"),
+            ("cloud", "cloud"),
+            ("s3", "cloud"),
+            ("object_store", "cloud"),
         ]:
             assert get_backend(name).name == expected
 
@@ -118,9 +121,9 @@ class TestProfiles:
         profile = get_backend("ssd")
         with pytest.raises(AttributeError):
             profile.random_page_read_seconds = 0.0
-        assert len({get_backend(n) for n in registered_backend_names()}) == 3
+        assert len({get_backend(n) for n in registered_backend_names()}) == 4
 
-    @pytest.mark.parametrize("name", ["hdd", "ssd", "inmemory"])
+    @pytest.mark.parametrize("name", ["hdd", "ssd", "inmemory", "cloud"])
     def test_profiles_pickle_round_trip(self, name):
         profile = get_backend(name)
         clone = pickle.loads(pickle.dumps(profile))
@@ -139,6 +142,20 @@ class TestProfiles:
         summary = get_backend("ssd").summary()
         assert summary["name"] == "ssd"
         assert summary["random_to_sequential_ratio"] < 3
+
+    def test_cloud_profile_is_latency_dominated(self):
+        """The object store: random fetches dwarf even the HDD's penalty."""
+        cloud, hdd = get_backend("cloud"), get_backend("hdd")
+        assert cloud.random_to_sequential_ratio > 100
+        assert cloud.random_to_sequential_ratio > 10 * hdd.random_to_sequential_ratio
+        assert cloud.random_page_read_seconds > hdd.random_page_read_seconds
+        # decent sequential bandwidth — streaming beats the spinning disks
+        assert cloud.sequential_read_bytes_per_second > hdd.sequential_read_bytes_per_second
+        # reads stream faster than writes: the asymmetry the sort-spill
+        # accounting must bill per pass
+        assert cloud.sequential_read_bytes_per_second > cloud.sequential_write_bytes_per_second
+        # per-request latency shows up as a fat fixed per-query overhead too
+        assert cloud.per_query_overhead_seconds > hdd.per_query_overhead_seconds
 
 
 # --------------------------------------------------------------------- #

@@ -103,6 +103,42 @@ class TestJoinsAndSorts:
         spilling = cost_model.sort_seconds(50_000_000, row_width_bytes=100)
         assert spilling > in_memory * 100
 
+    def test_sort_spill_bills_each_pass_at_its_own_bandwidth(self):
+        """Regression: the spill's read pass was billed at *write* bandwidth.
+
+        A spilling sort does one write pass and one read pass; with a profile
+        whose read bandwidth is 10x its write bandwidth the read pass must be
+        10x cheaper, not billed at the write rate (the old ``2 * bytes /
+        write_bw`` formula).  Pinned exactly on an asymmetric profile.
+        """
+        profile = CostModelParameters(
+            name="asymmetric",
+            sequential_read_bytes_per_second=1000e6,
+            sequential_write_bytes_per_second=100e6,
+        )
+        model = CostModel(profile)
+        rows, width = 50_000_000, 100
+        spill_bytes = rows * width
+        assert spill_bytes > profile.sort_spill_threshold_bytes
+        cpu = CostModel(
+            CostModelParameters(name="no_spill", sort_spill_threshold_bytes=1 << 62)
+        ).sort_seconds(rows, width)
+        io = model.sort_seconds(rows, width) - cpu
+        expected_io = spill_bytes / 100e6 + spill_bytes / 1000e6
+        assert io == pytest.approx(expected_io)
+        # the old formula would have charged both passes at the write rate
+        assert io < 2 * spill_bytes / 100e6
+
+    def test_sort_spill_on_hdd_write_and_read_passes(self, cost_model):
+        """On the default tier the read pass is billed at 200 MB/s, write at 150."""
+        rows, width = 50_000_000, 100
+        spill_bytes = rows * width
+        no_spill_cpu = CostModel(
+            CostModelParameters(sort_spill_threshold_bytes=1 << 62)
+        ).sort_seconds(rows, width)
+        io = cost_model.sort_seconds(rows, width) - no_spill_cpu
+        assert io == pytest.approx(spill_bytes / 150e6 + spill_bytes / 200e6)
+
     def test_index_nested_loop_grows_with_outer_rows_but_io_is_bounded(
         self, cost_model, sales_data
     ):

@@ -116,3 +116,62 @@ class TestCli:
         series = collect_p50s(json.loads(committed.read_text()))
         assert "incremental.500" in series
         assert all(value > 0 for value in series.values())
+
+
+class TestDirectoryMode:
+    def write_dir(self, root: Path, files: dict[str, dict]) -> Path:
+        root.mkdir(exist_ok=True)
+        for name, body in files.items():
+            (root / name).write_text(json.dumps(body))
+        return root
+
+    def tiered(self, p50: float) -> dict:
+        return {"placements": {"hot_cold": {"wall_step": {"p50_ms": p50}}}}
+
+    def test_compares_every_guarded_file_present_in_both(self, tmp_path, capsys):
+        base = self.write_dir(
+            tmp_path / "base",
+            {"BENCH_recommend.json": payload(0.2), "BENCH_tiered.json": self.tiered(10.0)},
+        )
+        cand = self.write_dir(
+            tmp_path / "cand",
+            {"BENCH_recommend.json": payload(0.3), "BENCH_tiered.json": self.tiered(12.0)},
+        )
+        assert main([str(base), str(cand)]) == 0
+        out = capsys.readouterr().out
+        assert "4 series compared" in out
+        assert "BENCH_tiered.json:placements.hot_cold.wall_step" in out
+
+    def test_regression_in_any_guarded_file_fails(self, tmp_path, capsys):
+        base = self.write_dir(
+            tmp_path / "base",
+            {"BENCH_recommend.json": payload(0.2), "BENCH_tiered.json": self.tiered(10.0)},
+        )
+        cand = self.write_dir(
+            tmp_path / "cand",
+            {"BENCH_recommend.json": payload(0.2), "BENCH_tiered.json": self.tiered(90.0)},
+        )
+        assert main([str(base), str(cand), "--max-regression", "5"]) == 1
+        assert "FAIL BENCH_tiered.json:placements.hot_cold.wall_step" in capsys.readouterr().err
+
+    def test_missing_guarded_file_is_skipped_not_fatal(self, tmp_path):
+        """A PR adding a new guarded file still passes against an old baseline."""
+        base = self.write_dir(tmp_path / "base", {"BENCH_recommend.json": payload(0.2)})
+        cand = self.write_dir(
+            tmp_path / "cand",
+            {"BENCH_recommend.json": payload(0.2), "BENCH_tiered.json": self.tiered(1.0)},
+        )
+        assert main([str(base), str(cand)]) == 0
+
+    def test_no_guarded_files_at_all_is_an_error(self, tmp_path, capsys):
+        base = self.write_dir(tmp_path / "base", {"other.json": payload(0.2)})
+        cand = self.write_dir(tmp_path / "cand", {"other.json": payload(0.2)})
+        assert main([str(base), str(cand)]) == 2
+        assert "no guarded files" in capsys.readouterr().err
+
+    def test_mixing_file_and_directory_is_an_error(self, tmp_path, capsys):
+        base = self.write_dir(tmp_path / "base", {"BENCH_recommend.json": payload(0.2)})
+        lone = tmp_path / "cand.json"
+        lone.write_text(json.dumps(payload(0.2)))
+        assert main([str(base), str(lone)]) == 2
+        assert "not a mixture" in capsys.readouterr().err
