@@ -22,6 +22,7 @@ import json
 import os
 import time
 from concurrent.futures import ThreadPoolExecutor
+from functools import partial
 
 import numpy as np
 
@@ -201,12 +202,11 @@ def run_sharded_loop(n_arms: int, rounds: int, seed: int = 5, workers: int = 1):
         for round_number in range(WARMUP_ROUNDS + rounds):
             round_started = time.perf_counter()
             scorer = bandit.scorer()
-            if pool is not None:
-                outcomes = list(
-                    pool.map(lambda contexts: score_shard(scorer, contexts), contexts_by_shard)
-                )
-            else:
-                outcomes = [score_shard(scorer, contexts) for contexts in contexts_by_shard]
+            outcomes = (
+                list(pool.map(partial(score_shard, scorer), contexts_by_shard))
+                if pool is not None
+                else [score_shard(scorer, contexts) for contexts in contexts_by_shard]
+            )
             shard_seconds = [seconds for _, seconds in outcomes]
             chosen = rng.choice(n_arms, size=SUPER_ARM_SIZE, replace=False)
             bandit.update(all_contexts[chosen], rng.normal(size=SUPER_ARM_SIZE))

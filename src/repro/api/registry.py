@@ -27,7 +27,7 @@ in one typed, picklable object.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, overload
 
 from repro.interface import Tuner
 
@@ -35,6 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.catalog import Database
 
 __all__ = [
+    "TunerFactory",
     "TunerSpec",
     "UnknownTunerError",
     "create_tuner",
@@ -92,7 +93,17 @@ def _register(names: tuple[str, ...], factory: TunerFactory) -> None:
         _REGISTRY[_normalise(name)] = factory
 
 
-def register_tuner(name: str, *aliases: str, factory: TunerFactory | None = None):
+@overload
+def register_tuner(name: str, *aliases: str) -> Callable[[type[Tuner]], type[Tuner]]: ...
+
+
+@overload
+def register_tuner(name: str, *aliases: str, factory: TunerFactory) -> TunerFactory: ...
+
+
+def register_tuner(
+    name: str, *aliases: str, factory: TunerFactory | None = None
+) -> "Callable[[type[Tuner]], type[Tuner]] | TunerFactory":
     """Register a tuner under ``name`` (and ``aliases``).
 
     Use as a class decorator (the class must offer ``from_spec(database,

@@ -49,7 +49,7 @@ __all__ = [
 ]
 
 
-@dataclass
+@dataclass(frozen=True)
 class SimulationOptions:
     """Execution-layer options for one session or simulation run.
 
@@ -99,6 +99,7 @@ class SimulationOptions:
     benchmark_name: str = "benchmark"
     workload_type: str = "static"
     #: Optional per-round callback (round report, execution results).
+    # reprolint: disable=RL002 -- in-process observer, never pickled: run_competition rejects workers>1 when on_round is set
     on_round: Callable[[RoundReport, list[ExecutionResult]], None] | None = None
     #: Collect per-round execution results in the returned trace.
     keep_results: bool = False
@@ -161,7 +162,7 @@ class TuningSession:
         database: Database,
         tuner: Tuner,
         options: SimulationOptions | None = None,
-    ):
+    ) -> None:
         """Wire one tuner to one database.
 
         Args:

@@ -73,7 +73,7 @@ class DDQNTuner(Tuner):
 
     name = "DDQN"
 
-    def __init__(self, database: Database, config: DDQNConfig | None = None):
+    def __init__(self, database: Database, config: DDQNConfig | None = None) -> None:
         self.database = database
         self.config = config or DDQNConfig()
         if self.config.single_column_only:

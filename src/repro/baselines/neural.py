@@ -45,7 +45,7 @@ class MLPConfig:
 class MLP:
     """A ReLU multilayer perceptron trained with Adam on squared error."""
 
-    def __init__(self, config: MLPConfig):
+    def __init__(self, config: MLPConfig) -> None:
         self.config = config
         rng = np.random.default_rng(config.seed)
         sizes = [config.input_dim, *config.hidden_layers, config.output_dim]

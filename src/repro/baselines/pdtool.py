@@ -84,7 +84,7 @@ class PDToolTuner(Tuner):
             )
         return cls(database, config)
 
-    def __init__(self, database: Database, config: PDToolConfig | None = None):
+    def __init__(self, database: Database, config: PDToolConfig | None = None) -> None:
         self.database = database
         self.config = config or PDToolConfig()
         self.what_if = WhatIfOptimizer(database)
@@ -255,14 +255,16 @@ class PDToolTuner(Tuner):
         selected_key_sets: set[tuple[str, frozenset[str]]] = set()
         del queries
 
-        while pool:
-            def effective_benefit(candidate: _Candidate) -> float:
-                return sum(
-                    benefit
-                    for template_id, benefit in candidate.benefits.items()
-                    if template_id not in served_templates
-                )
+        def effective_benefit(candidate: _Candidate) -> float:
+            # Reads the live `served_templates` set, so the benefit shrinks
+            # as earlier picks serve a candidate's templates.
+            return sum(
+                benefit
+                for template_id, benefit in candidate.benefits.items()
+                if template_id not in served_templates
+            )
 
+        while pool:
             pool.sort(
                 key=lambda candidate: effective_benefit(candidate) / max(1, candidate.size_bytes),
                 reverse=True,

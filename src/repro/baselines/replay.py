@@ -26,7 +26,7 @@ class Transition:
 class ReplayBuffer:
     """Fixed-capacity FIFO replay buffer with uniform sampling."""
 
-    def __init__(self, capacity: int = 10_000, seed: int = 29):
+    def __init__(self, capacity: int = 10_000, seed: int = 29) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity

@@ -58,7 +58,7 @@ class Arm:
 class ArmGenerator:
     """Generates candidate-index arms from queries of interest."""
 
-    def __init__(self, config: MabConfig | None = None):
+    def __init__(self, config: MabConfig | None = None) -> None:
         self.config = config or MabConfig()
 
     # ------------------------------------------------------------------ #

@@ -37,7 +37,7 @@ DERIVED_FEATURE_NAMES = ("is_covering", "relative_size", "usage_count")
 class ContextBuilder:
     """Builds the fixed-dimension context vectors used by the bandit."""
 
-    def __init__(self, schema: Schema):
+    def __init__(self, schema: Schema) -> None:
         self.schema = schema
         self._column_positions: dict[tuple[str, str], int] = {}
         for table in schema.tables:
@@ -143,10 +143,11 @@ class ContextBuilder:
         # Part 2: derived features.
         derived_base = self._n_columns
         is_covering = 1.0 if arm.covering_for_queries else 0.0
-        if database.has_index(arm.index):
-            relative_size = 0.0
-        else:
-            relative_size = self._hypothetical_relative_size(arm, database)
+        relative_size = (
+            0.0
+            if database.has_index(arm.index)
+            else self._hypothetical_relative_size(arm, database)
+        )
         usage = math.log1p(arm.usage_rounds)
         context[derived_base + 0] = is_covering
         context[derived_base + 1] = relative_size

@@ -49,7 +49,7 @@ class LinearScorer:
 
     __slots__ = ("theta", "v_inverse", "dimension")
 
-    def __init__(self, theta: np.ndarray, v_inverse: np.ndarray):
+    def __init__(self, theta: np.ndarray, v_inverse: np.ndarray) -> None:
         self.theta = theta
         self.v_inverse = v_inverse
         self.dimension = len(theta)
@@ -100,7 +100,7 @@ class C2UCB:
         regularisation: float = 1.0,
         seed: int = 17,
         refresh_interval: int = 512,
-    ):
+    ) -> None:
         if dimension <= 0:
             raise ValueError("dimension must be positive")
         if regularisation <= 0:

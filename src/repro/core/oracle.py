@@ -138,7 +138,7 @@ def merge_shard_candidates(
 class GreedyOracle:
     """Greedy knapsack oracle with prefix/covering diversity filtering."""
 
-    def __init__(self, prune_negative_scores: bool = True):
+    def __init__(self, prune_negative_scores: bool = True) -> None:
         self.prune_negative_scores = prune_negative_scores
 
     def select(

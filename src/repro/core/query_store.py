@@ -49,7 +49,7 @@ class RoundSummary:
 class QueryStore:
     """Keeps per-template statistics across rounds."""
 
-    def __init__(self, max_instances_per_template: int = 3):
+    def __init__(self, max_instances_per_template: int = 3) -> None:
         if max_instances_per_template < 1:
             raise ValueError("max_instances_per_template must be at least 1")
         self.max_instances_per_template = max_instances_per_template

@@ -33,7 +33,7 @@ from repro.engine.execution import ExecutionResult
 from repro.engine.query import Query
 from repro.interface import Recommendation, Tuner
 
-from .arms import Arm, ArmGenerator, shard_arms
+from .arms import Arm, ArmGenerator, ArmShard, shard_arms
 from .config import MabConfig
 from .context import ContextBuilder
 from .linear_bandit import C2UCB
@@ -66,7 +66,7 @@ class MabTuner(Tuner):
 
     name = "MAB"
 
-    def __init__(self, database: Database, config: MabConfig | None = None):
+    def __init__(self, database: Database, config: MabConfig | None = None) -> None:
         self.database = database
         self.config = config or MabConfig()
         self.query_store = QueryStore()
@@ -117,6 +117,7 @@ class MabTuner(Tuner):
             call charged as recommendation time.
         """
         del training_queries  # the bandit never receives a training workload
+        # reprolint: disable=RL001 -- recommendation_seconds is the paper-reported wall time of the MAB's own scoring pass; no tuning decision reads it
         started = time.perf_counter()
         self.rounds_recommended += 1
 
@@ -132,6 +133,7 @@ class MabTuner(Tuner):
             self._pending_selection = []
             return Recommendation(
                 configuration=list(self.database.materialised_indexes),
+                # reprolint: disable=RL001 -- paper-reported recommendation wall time (output only)
                 recommendation_seconds=time.perf_counter() - started,
             )
 
@@ -154,6 +156,7 @@ class MabTuner(Tuner):
         configuration = [scored.arm.index for scored in selection.selected]
         return Recommendation(
             configuration=configuration,
+            # reprolint: disable=RL001 -- paper-reported recommendation wall time (output only)
             recommendation_seconds=time.perf_counter() - started,
         )
 
@@ -215,7 +218,7 @@ class MabTuner(Tuner):
         jitter = self.bandit.tie_break(len(arms))
         scorer = self.bandit.scorer()
 
-        def score_shard(shard) -> list[ScoredArm]:
+        def score_shard(shard: "ArmShard") -> list[ScoredArm]:
             contexts = self.context_builder.build_matrix(
                 shard.arms,
                 queries,

@@ -33,12 +33,13 @@ and the name immediately works everywhere a backend is accepted —
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping, Union
+from typing import Callable, Iterable, Mapping, Union, overload
 
 from .errors import UnknownTableError
 from .storage import PAGE_SIZE_BYTES
 
 __all__ = [
+    "BackendFactory",
     "BackendProfile",
     "BackendLike",
     "PlacementLike",
@@ -108,7 +109,7 @@ class BackendProfile:
         """
         return self.random_page_read_seconds / self.page_read_seconds()
 
-    def summary(self) -> dict:
+    def summary(self) -> dict[str, object]:
         """A small serialisable summary used in reports and benchmarks."""
         return {
             "name": self.name,
@@ -149,7 +150,21 @@ def _normalise(name: str) -> str:
     return name.strip().lower().replace("-", "_")
 
 
-def register_backend(name: str, *aliases: str, profile: BackendProfile | None = None):
+@overload
+def register_backend(
+    name: str, *aliases: str
+) -> Callable[[BackendFactory], BackendFactory]: ...
+
+
+@overload
+def register_backend(
+    name: str, *aliases: str, profile: BackendProfile
+) -> BackendProfile: ...
+
+
+def register_backend(
+    name: str, *aliases: str, profile: BackendProfile | None = None
+) -> "Callable[[BackendFactory], BackendFactory] | BackendProfile":
     """Register a backend profile under ``name`` (and ``aliases``).
 
     Use as a decorator over a zero-argument factory::
@@ -162,7 +177,7 @@ def register_backend(name: str, *aliases: str, profile: BackendProfile | None = 
         register_backend("tuned_hdd", profile=BackendProfile(name="tuned_hdd", ...))
     """
 
-    def _register(factory: BackendFactory):
+    def _register(factory: BackendFactory) -> BackendFactory:
         primary = name
         if _normalise(primary) not in (_normalise(n) for n in _PRIMARY_NAMES):
             _PRIMARY_NAMES.append(primary)
@@ -226,7 +241,7 @@ class UnknownPlacementTableError(UnknownTableError, KeyError, ValueError):
     # KeyError.__str__ reprs the message (extra quotes); render it plainly.
     __str__ = Exception.__str__
 
-    def __init__(self, table_name: str, known_tables: Iterable[str]):
+    def __init__(self, table_name: str, known_tables: Iterable[str]) -> None:
         known = ", ".join(sorted(known_tables))
         Exception.__init__(
             self,

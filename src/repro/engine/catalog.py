@@ -433,7 +433,7 @@ class Database:
     # ------------------------------------------------------------------ #
     # summaries
     # ------------------------------------------------------------------ #
-    def summary(self) -> dict:
+    def summary(self) -> dict[str, object]:
         return {
             "schema": self.schema.name,
             "backend": self.backend_profile.name,

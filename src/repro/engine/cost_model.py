@@ -71,7 +71,7 @@ class CostModel:
         self,
         parameters: BackendLike = None,
         table_profiles: "Mapping[str, BackendLike] | None" = None,
-    ):
+    ) -> None:
         #: The default backend profile supplying every timing constant for
         #: tables without a per-table override.  The attribute keeps its
         #: historical name (``parameters``); ``profile`` is the modern

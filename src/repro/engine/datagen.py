@@ -51,7 +51,12 @@ class SequentialKey(ColumnGenerator):
 
     start: int = 1
 
-    def generate(self, n_rows, rng, existing):
+    def generate(
+        self,
+        n_rows: int,
+        rng: np.random.Generator,
+        existing: Mapping[str, np.ndarray],
+    ) -> np.ndarray:
         return np.arange(self.start, self.start + n_rows, dtype=np.int64)
 
 
@@ -62,11 +67,16 @@ class UniformInt(ColumnGenerator):
     low: int
     high: int
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.high < self.low:
             raise DataGenerationError(f"UniformInt: high ({self.high}) < low ({self.low})")
 
-    def generate(self, n_rows, rng, existing):
+    def generate(
+        self,
+        n_rows: int,
+        rng: np.random.Generator,
+        existing: Mapping[str, np.ndarray],
+    ) -> np.ndarray:
         return rng.integers(self.low, self.high + 1, size=n_rows, dtype=np.int64)
 
     @property
@@ -81,11 +91,16 @@ class UniformFloat(ColumnGenerator):
     low: float
     high: float
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.high <= self.low:
             raise DataGenerationError(f"UniformFloat: high ({self.high}) <= low ({self.low})")
 
-    def generate(self, n_rows, rng, existing):
+    def generate(
+        self,
+        n_rows: int,
+        rng: np.random.Generator,
+        existing: Mapping[str, np.ndarray],
+    ) -> np.ndarray:
         return rng.uniform(self.low, self.high, size=n_rows)
 
 
@@ -103,13 +118,18 @@ class ZipfianInt(ColumnGenerator):
     n_distinct: int
     skew: float = 1.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.n_distinct <= 0:
             raise DataGenerationError("ZipfianInt: n_distinct must be positive")
         if self.skew < 0:
             raise DataGenerationError("ZipfianInt: skew must be non-negative")
 
-    def generate(self, n_rows, rng, existing):
+    def generate(
+        self,
+        n_rows: int,
+        rng: np.random.Generator,
+        existing: Mapping[str, np.ndarray],
+    ) -> np.ndarray:
         ranks = np.arange(1, self.n_distinct + 1, dtype=np.float64)
         if self.skew == 0:
             probabilities = np.full(self.n_distinct, 1.0 / self.n_distinct)
@@ -135,13 +155,18 @@ class Categorical(ColumnGenerator):
     n_categories: int
     weights: tuple[float, ...] | None = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.n_categories <= 0:
             raise DataGenerationError("Categorical: n_categories must be positive")
         if self.weights is not None and len(self.weights) != self.n_categories:
             raise DataGenerationError("Categorical: weights length must equal n_categories")
 
-    def generate(self, n_rows, rng, existing):
+    def generate(
+        self,
+        n_rows: int,
+        rng: np.random.Generator,
+        existing: Mapping[str, np.ndarray],
+    ) -> np.ndarray:
         if self.weights is None:
             probabilities = None
         else:
@@ -165,11 +190,16 @@ class DateRange(ColumnGenerator):
     start_day: int = 0
     n_days: int = 2557  # seven years, the TPC-H order-date range
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.n_days <= 0:
             raise DataGenerationError("DateRange: n_days must be positive")
 
-    def generate(self, n_rows, rng, existing):
+    def generate(
+        self,
+        n_rows: int,
+        rng: np.random.Generator,
+        existing: Mapping[str, np.ndarray],
+    ) -> np.ndarray:
         return rng.integers(self.start_day, self.start_day + self.n_days, size=n_rows, dtype=np.int64)
 
     @property
@@ -189,11 +219,16 @@ class ForeignKeyRef(ColumnGenerator):
     parent_cardinality: int
     skew: float = 0.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.parent_cardinality <= 0:
             raise DataGenerationError("ForeignKeyRef: parent_cardinality must be positive")
 
-    def generate(self, n_rows, rng, existing):
+    def generate(
+        self,
+        n_rows: int,
+        rng: np.random.Generator,
+        existing: Mapping[str, np.ndarray],
+    ) -> np.ndarray:
         if self.skew == 0:
             return rng.integers(1, self.parent_cardinality + 1, size=n_rows, dtype=np.int64)
         generator = ZipfianInt(low=1, n_distinct=self.parent_cardinality, skew=self.skew)
@@ -219,7 +254,12 @@ class Derived(ColumnGenerator):
     noise: int = 0
     modulo: int | None = None
 
-    def generate(self, n_rows, rng, existing):
+    def generate(
+        self,
+        n_rows: int,
+        rng: np.random.Generator,
+        existing: Mapping[str, np.ndarray],
+    ) -> np.ndarray:
         if self.source_column not in existing:
             raise DataGenerationError(
                 f"Derived: source column {self.source_column!r} has not been generated yet"
@@ -248,7 +288,7 @@ class TableSpec:
     row_count: int
     generators: dict[str, ColumnGenerator] = field(default_factory=dict)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.row_count <= 0:
             raise DataGenerationError(f"table {self.table_name!r}: row_count must be positive")
 

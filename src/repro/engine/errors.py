@@ -19,7 +19,7 @@ class SchemaError(EngineError):
 class UnknownTableError(SchemaError):
     """A query or index referenced a table that is not in the schema."""
 
-    def __init__(self, table_name: str):
+    def __init__(self, table_name: str) -> None:
         super().__init__(f"unknown table: {table_name!r}")
         self.table_name = table_name
 
@@ -27,7 +27,7 @@ class UnknownTableError(SchemaError):
 class UnknownColumnError(SchemaError):
     """A query or index referenced a column that is not in its table."""
 
-    def __init__(self, table_name: str, column_name: str):
+    def __init__(self, table_name: str, column_name: str) -> None:
         super().__init__(f"unknown column: {table_name!r}.{column_name!r}")
         self.table_name = table_name
         self.column_name = column_name
@@ -44,7 +44,7 @@ class UnknownIndexError(EngineError):
 class MemoryBudgetExceededError(EngineError):
     """Materialising an index would exceed the configured memory budget."""
 
-    def __init__(self, requested_bytes: int, available_bytes: int):
+    def __init__(self, requested_bytes: int, available_bytes: int) -> None:
         super().__init__(
             "index materialisation would exceed the memory budget: "
             f"requested {requested_bytes} bytes, available {available_bytes} bytes"

@@ -84,7 +84,7 @@ class ExecutionResult:
 class Executor:
     """Times query plans against a :class:`Database` using true cardinalities."""
 
-    def __init__(self, database: Database, noise_sigma: float = 0.03, seed: int = 11):
+    def __init__(self, database: Database, noise_sigma: float = 0.03, seed: int = 11) -> None:
         self.database = database
         self.noise_sigma = noise_sigma
         self._rng = np.random.default_rng(seed)

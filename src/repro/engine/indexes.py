@@ -42,7 +42,7 @@ class IndexDefinition:
     key_columns: tuple[str, ...]
     include_columns: tuple[str, ...] = ()
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.key_columns:
             raise SchemaError("an index must have at least one key column")
         if len(set(self.key_columns)) != len(self.key_columns):

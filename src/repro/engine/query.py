@@ -42,10 +42,11 @@ class Predicate:
     operator: Operator
     value: float | int | tuple = 0
 
-    def __post_init__(self):
-        if self.operator is Operator.BETWEEN:
-            if not isinstance(self.value, tuple) or len(self.value) != 2:
-                raise ValueError("BETWEEN predicate requires a (low, high) tuple value")
+    def __post_init__(self) -> None:
+        if self.operator is Operator.BETWEEN and (
+            not isinstance(self.value, tuple) or len(self.value) != 2
+        ):
+            raise ValueError("BETWEEN predicate requires a (low, high) tuple value")
         if self.operator is Operator.IN and not isinstance(self.value, tuple):
             raise ValueError("IN predicate requires a tuple of values")
 
@@ -114,7 +115,7 @@ class Query:
     joins: tuple[JoinPredicate, ...] = ()
     payload: dict[str, tuple[str, ...]] = field(default_factory=dict)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         table_set = set(self.tables)
         for predicate in self.predicates:
             if predicate.table not in table_set:

@@ -187,7 +187,7 @@ class TableData:
         values = self.column_array(column_name)
         return float(values.min()), float(values.max())
 
-    def summary(self) -> dict:
+    def summary(self) -> dict[str, object]:
         """A small serialisable summary used in reports and examples."""
         return {
             "table": self.table.name,

@@ -86,7 +86,7 @@ class ExperimentSettings:
             rl_repetitions=2,
         )
 
-    def with_overrides(self, **overrides) -> "ExperimentSettings":
+    def with_overrides(self, **overrides: object) -> "ExperimentSettings":
         return replace(self, **overrides)
 
     def tuner_spec(self, benchmark_name: str = "", workload_type: str = "static") -> TunerSpec:

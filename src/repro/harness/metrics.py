@@ -122,7 +122,7 @@ class RunReport:
             "total": self.total_seconds / 60.0,
         }
 
-    def summary(self) -> dict:
+    def summary(self) -> dict[str, object]:
         return {
             "tuner": self.tuner_name,
             "benchmark": self.benchmark_name,

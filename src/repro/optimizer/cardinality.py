@@ -28,7 +28,7 @@ MIN_SELECTIVITY = 1e-9
 class CardinalityEstimator:
     """Estimates selectivities and cardinalities from summary statistics."""
 
-    def __init__(self, statistics: StatisticsCatalog):
+    def __init__(self, statistics: StatisticsCatalog) -> None:
         self.statistics = statistics
 
     # ------------------------------------------------------------------ #

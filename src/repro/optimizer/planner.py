@@ -18,6 +18,7 @@ from repro.engine.catalog import Database
 from repro.engine.indexes import IndexDefinition
 from repro.engine.plans import AccessMethod, JoinMethod, JoinStep, QueryPlan, TableAccessPlan
 from repro.engine.query import Query
+from repro.engine.storage import TableData
 
 from .cardinality import CardinalityEstimator
 
@@ -25,7 +26,7 @@ from .cardinality import CardinalityEstimator
 class Planner:
     """Chooses minimum-estimated-cost plans for queries."""
 
-    def __init__(self, database: Database):
+    def __init__(self, database: Database) -> None:
         self.database = database
         self.estimator = CardinalityEstimator(database.statistics)
 
@@ -211,7 +212,7 @@ class Planner:
         inner_rows: float,
         inner_access: TableAccessPlan,
         inner_indexes: list[IndexDefinition],
-        outer_data=None,
+        outer_data: "TableData | None" = None,
     ) -> tuple[JoinStep, float, float]:
         cost_model = self.database.cost_model
         inner_data = self.database.table_data(inner_table)

@@ -35,7 +35,7 @@ class WhatIfResult:
 class WhatIfOptimizer:
     """Estimates query and workload costs under hypothetical configurations."""
 
-    def __init__(self, database: Database):
+    def __init__(self, database: Database) -> None:
         self.database = database
         self.planner = Planner(database)
         #: Number of optimiser calls made; used to model recommendation time.

@@ -51,7 +51,7 @@ class WorkloadRound:
 class WorkloadSequence:
     """Base class: materialises rounds lazily from templates and a database."""
 
-    def __init__(self, database: Database, templates: list[QueryTemplate], seed: int = 13):
+    def __init__(self, database: Database, templates: list[QueryTemplate], seed: int = 13) -> None:
         if not templates:
             raise ValueError("a workload sequence needs at least one template")
         self.database = database
@@ -77,7 +77,7 @@ class StaticWorkload(WorkloadSequence):
         templates: list[QueryTemplate],
         n_rounds: int = 25,
         seed: int = 13,
-    ):
+    ) -> None:
         super().__init__(database, templates, seed)
         if n_rounds <= 0:
             raise ValueError("n_rounds must be positive")
@@ -110,7 +110,7 @@ class ShiftingWorkload(WorkloadSequence):
         n_groups: int = 4,
         rounds_per_group: int = 20,
         seed: int = 13,
-    ):
+    ) -> None:
         super().__init__(database, templates, seed)
         if n_groups <= 0 or rounds_per_group <= 0:
             raise ValueError("n_groups and rounds_per_group must be positive")
@@ -160,7 +160,7 @@ class RandomWorkload(WorkloadSequence):
         repeat_rate: float = 0.5,
         pdtool_every: int = 4,
         seed: int = 13,
-    ):
+    ) -> None:
         super().__init__(database, templates, seed)
         if n_rounds <= 0:
             raise ValueError("n_rounds must be positive")

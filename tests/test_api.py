@@ -9,6 +9,7 @@ to a fresh tuner, for every registered tuner.
 
 from __future__ import annotations
 
+import dataclasses
 import pickle
 
 import pytest
@@ -267,8 +268,11 @@ class TestRunSimulationParity:
         # Candidate: the session-based driver.
         database = database_spec.create()
         configurations = []
-        options.on_round = lambda report, results: configurations.append(
-            sorted(ix.index_id for ix in database.materialised_indexes)
+        options = dataclasses.replace(
+            options,
+            on_round=lambda report, results: configurations.append(
+                sorted(ix.index_id for ix in database.materialised_indexes)
+            ),
         )
         trace = run_simulation(database, create_tuner("MAB", database), rounds, options)
 

@@ -49,12 +49,23 @@ def python_blocks(path: Path) -> list[str]:
 def test_documentation_set_is_complete():
     names = set(doc_ids())
     assert "README.md" in names
-    assert {"docs/ARCHITECTURE.md", "docs/API.md", "docs/BENCHMARKS.md"} <= names
+    assert {
+        "docs/ARCHITECTURE.md",
+        "docs/API.md",
+        "docs/BENCHMARKS.md",
+        "docs/STATIC_ANALYSIS.md",
+    } <= names
 
 
 def test_readme_links_every_docs_page():
     readme = (REPO_ROOT / "README.md").read_text()
-    for page in ("docs/ARCHITECTURE.md", "docs/API.md", "docs/BENCHMARKS.md"):
+    pages = (
+        "docs/ARCHITECTURE.md",
+        "docs/API.md",
+        "docs/BENCHMARKS.md",
+        "docs/STATIC_ANALYSIS.md",
+    )
+    for page in pages:
         assert page in readme, f"README.md does not link {page}"
 
 
@@ -91,10 +102,14 @@ def iter_repro_imports(block: str):
             for alias in node.names:
                 if alias.name.split(".")[0] == "repro":
                     yield alias.name, None
-        elif isinstance(node, ast.ImportFrom):
-            if node.level == 0 and node.module and node.module.split(".")[0] == "repro":
-                for alias in node.names:
-                    yield node.module, alias.name
+        elif (
+            isinstance(node, ast.ImportFrom)
+            and node.level == 0
+            and node.module
+            and node.module.split(".")[0] == "repro"
+        ):
+            for alias in node.names:
+                yield node.module, alias.name
 
 
 def resolve_import(module: str, name: str | None) -> str | None:

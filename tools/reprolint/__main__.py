@@ -1,0 +1,5 @@
+"""``python -m tools.reprolint`` entry point."""
+
+from .cli import main
+
+raise SystemExit(main())

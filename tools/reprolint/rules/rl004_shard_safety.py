@@ -1,0 +1,82 @@
+"""RL004 — shard-scorer race safety (the cross-file call-graph rule).
+
+With ``shard_workers > 1`` the MAB tuner scores arm shards concurrently:
+``MabTuner._score_sharded`` snapshots the bandit into a frozen
+:class:`repro.core.linear_bandit.LinearScorer` (``theta``, ``v_inverse``)
+and hands the *snapshot* to every shard worker.  The parity test
+``sharded == monolithic`` only holds if nothing on a shard-scoring path
+mutates the live bandit (``_v``, ``_b``, ``_v_inverse``, ``_theta``) — a
+write from one shard would be observed by another mid-round.
+
+The rule walks the call graph from the shard entry points (the nested
+``score_shard`` closure and the frozen scorer's methods — **not**
+``_score_sharded`` itself, which legitimately builds the snapshot first) and
+flags every assignment to a mutable-bandit attribute reachable from them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from . import Rule, RuleContext, register_rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..model import Finding
+
+#: Qualified-name suffixes of the functions that run inside shard workers.
+#: ``_score_sharded`` itself is *not* an entry point: it runs on the
+#: coordinating thread and legitimately materialises the scorer snapshot
+#: (which lazily computes ``theta``) before any worker starts.
+SHARD_ENTRY_POINTS = (
+    "MabTuner._score_sharded.score_shard",
+    "LinearScorer.upper_confidence_scores",
+    "LinearScorer.expected_rewards",
+    "LinearScorer.exploration_bonus",
+)
+
+#: Live-bandit state that must never be assigned on a shard-scoring path.
+MUTABLE_BANDIT_ATTRIBUTES = frozenset(
+    {"_v", "_b", "_v_inverse", "_theta", "theta", "v_inverse"}
+)
+
+
+@register_rule
+class ShardSafetyRule(Rule):
+    id = "RL004"
+    title = "no live-bandit mutation reachable from sharded scoring entry points"
+
+    def check_project(self, context: RuleContext) -> Iterable["Finding"]:
+        if context.index is None:
+            return []
+        return list(self._walk(context))
+
+    def _walk(self, context: RuleContext) -> Iterator["Finding"]:
+        from ..model import Finding
+
+        index = context.index
+        assert index is not None
+        seen: set[tuple[str, int, str]] = set()
+        for suffix in SHARD_ENTRY_POINTS:
+            for entry in index.find_functions(suffix):
+                for function in index.reachable_functions(entry):
+                    for store in function.attribute_stores:
+                        if store.attribute not in MUTABLE_BANDIT_ATTRIBUTES:
+                            continue
+                        key = (function.relative_path, store.line, store.attribute)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        yield Finding(
+                            rule=self.id,
+                            path=function.relative_path,
+                            line=store.line,
+                            col=store.col,
+                            message=(
+                                f"assignment to {store.receiver}.{store.attribute} "
+                                f"in {function.qualname} is reachable from shard "
+                                f"entry point {entry.qualname}; shard workers must "
+                                "only read the frozen LinearScorer snapshot "
+                                "(sharded == monolithic parity)"
+                            ),
+                            symbol=function.qualname,
+                        )

@@ -1,0 +1,261 @@
+"""RL005 — public-surface hygiene.
+
+Three checks keep the documented API surface honest:
+
+* **examples** (``examples/``) import only the public package roots
+  (``repro.api``, ``repro.harness``, ``repro.workloads``, ``repro.engine``)
+  — an example reaching into ``repro.core.*`` demonstrates an API gap, not
+  a usage pattern;
+* **deprecated paths** (``repro.harness.interface``, the ``make_tuner``
+  shim) are flagged in ``src/`` and ``examples/`` — ``docs/API.md``'s
+  deprecations table names the replacements;
+* **``__all__`` discipline** in the strict-typed surface
+  (``src/repro/api/*.py``, ``src/repro/engine/backend.py``): ``__all__``
+  must exist, every entry must be bound in the module, and every public
+  top-level definition must be listed — so ``from repro.api import *`` and
+  the docs never drift from the code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from . import Rule, RuleContext, register_rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..model import Finding, SourceFile
+
+#: Package roots examples may import from (plus bare ``repro``).
+PUBLIC_IMPORT_ROOTS = (
+    "repro.api",
+    "repro.harness",
+    "repro.workloads",
+    "repro.engine",
+)
+
+#: Deprecated module paths and the documented replacement.
+DEPRECATED_MODULES = {
+    "repro.harness.interface": "repro.api (TuningSession / run_simulation)",
+    "repro.harness.simulation": "repro.api.run_simulation",
+}
+
+#: Deprecated names importable from otherwise-public modules.
+DEPRECATED_NAMES = {
+    ("repro.harness", "make_tuner"): "repro.api.create_tuner",
+    ("repro.harness.experiments", "make_tuner"): "repro.api.create_tuner",
+}
+
+#: Modules whose ``__all__`` is audited (the strict-typed surface).
+ALL_AUDITED_PREFIXES = ("src/repro/api/",)
+ALL_AUDITED_FILES = ("src/repro/engine/backend.py",)
+
+#: Files allowed to import the deprecated paths: the shims themselves and the
+#: package ``__init__`` that lazily re-exports them for compatibility.
+DEPRECATION_SHIM_FILES = frozenset(
+    {
+        "src/repro/harness/__init__.py",
+        "src/repro/harness/interface.py",
+        "src/repro/harness/simulation.py",
+        "src/repro/harness/experiments.py",
+    }
+)
+
+
+def _module_of_import(node: ast.Import | ast.ImportFrom) -> list[str]:
+    if isinstance(node, ast.Import):
+        return [alias.name for alias in node.names]
+    return [node.module] if node.module else []
+
+
+@register_rule
+class PublicSurfaceRule(Rule):
+    id = "RL005"
+    title = "examples stay on the public surface; no deprecated imports; __all__ in sync"
+
+    def check_file(
+        self, source_file: "SourceFile", context: RuleContext
+    ) -> Iterable["Finding"]:
+        findings: list["Finding"] = []
+        if source_file.top_level_dir == "examples":
+            findings.extend(self._check_example_imports(source_file))
+        if source_file.top_level_dir in ("src", "examples"):
+            findings.extend(self._check_deprecated_imports(source_file))
+        if source_file.relative_path in ALL_AUDITED_FILES or any(
+            source_file.relative_path.startswith(prefix)
+            for prefix in ALL_AUDITED_PREFIXES
+        ):
+            findings.extend(self._check_dunder_all(source_file))
+        return findings
+
+    # ------------------------------------------------------------------ #
+    # examples: public surface only
+    # ------------------------------------------------------------------ #
+    def _check_example_imports(self, source_file: "SourceFile") -> Iterator["Finding"]:
+        from ..model import Finding
+
+        for node in ast.walk(source_file.tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            for module in _module_of_import(node):
+                if not (module == "repro" or module.startswith("repro.")):
+                    continue
+                public = module == "repro" or any(
+                    module == root or module.startswith(root + ".")
+                    for root in PUBLIC_IMPORT_ROOTS
+                )
+                if not public:
+                    yield Finding(
+                        rule=self.id,
+                        path=source_file.relative_path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"example imports internal module {module}; "
+                            "examples must stay on the public surface "
+                            f"({', '.join(PUBLIC_IMPORT_ROOTS)}) — if the "
+                            "example needs it, the API is missing something"
+                        ),
+                    )
+
+    # ------------------------------------------------------------------ #
+    # deprecated paths
+    # ------------------------------------------------------------------ #
+    def _check_deprecated_imports(self, source_file: "SourceFile") -> Iterator["Finding"]:
+        from ..model import Finding
+
+        if source_file.relative_path in DEPRECATION_SHIM_FILES:
+            return
+        for node in ast.walk(source_file.tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            for module in _module_of_import(node):
+                replacement = DEPRECATED_MODULES.get(module)
+                if replacement:
+                    yield Finding(
+                        rule=self.id,
+                        path=source_file.relative_path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"import of deprecated module {module}; "
+                            f"use {replacement} (see docs/API.md deprecations)"
+                        ),
+                    )
+            if isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    replacement = DEPRECATED_NAMES.get((node.module, alias.name))
+                    if replacement:
+                        yield Finding(
+                            rule=self.id,
+                            path=source_file.relative_path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            message=(
+                                f"import of deprecated {node.module}.{alias.name}; "
+                                f"use {replacement} (see docs/API.md deprecations)"
+                            ),
+                        )
+
+    # ------------------------------------------------------------------ #
+    # __all__ audit
+    # ------------------------------------------------------------------ #
+    def _check_dunder_all(self, source_file: "SourceFile") -> Iterator["Finding"]:
+        from ..model import Finding
+
+        tree = source_file.tree
+        all_node: ast.Assign | None = None
+        exported: list[str] = []
+        bound: set[str] = set()
+        defined_public: dict[str, int] = {}
+
+        def harvest(statements: Iterable[ast.stmt]) -> None:
+            for statement in statements:
+                if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                    bound.add(statement.name)
+                    if not statement.name.startswith("_"):
+                        defined_public.setdefault(statement.name, statement.lineno)
+                elif isinstance(statement, ast.Assign):
+                    for target in statement.targets:
+                        if isinstance(target, ast.Name):
+                            bound.add(target.id)
+                            if not target.id.startswith("_") and target.id != "TYPE_CHECKING":
+                                defined_public.setdefault(target.id, statement.lineno)
+                elif isinstance(statement, ast.AnnAssign):
+                    if isinstance(statement.target, ast.Name):
+                        bound.add(statement.target.id)
+                        if not statement.target.id.startswith("_"):
+                            defined_public.setdefault(
+                                statement.target.id, statement.lineno
+                            )
+                elif isinstance(statement, ast.Import):
+                    for alias in statement.names:
+                        bound.add(alias.asname or alias.name.split(".")[0])
+                elif isinstance(statement, ast.ImportFrom):
+                    for alias in statement.names:
+                        if alias.name != "*":
+                            bound.add(alias.asname or alias.name)
+                elif isinstance(statement, (ast.If, ast.Try)):
+                    for body in getattr(statement, "orelse", []), statement.body:
+                        harvest(body)
+                    for handler in getattr(statement, "handlers", []):
+                        harvest(handler.body)
+
+        harvest(tree.body)
+
+        for statement in tree.body:
+            if (
+                isinstance(statement, ast.Assign)
+                and len(statement.targets) == 1
+                and isinstance(statement.targets[0], ast.Name)
+                and statement.targets[0].id == "__all__"
+            ):
+                all_node = statement
+                if isinstance(statement.value, (ast.List, ast.Tuple)):
+                    for element in statement.value.elts:
+                        if isinstance(element, ast.Constant) and isinstance(
+                            element.value, str
+                        ):
+                            exported.append(element.value)
+
+        if all_node is None:
+            yield Finding(
+                rule=self.id,
+                path=source_file.relative_path,
+                line=1,
+                col=0,
+                message=(
+                    "public-surface module has no __all__; declare the export "
+                    "list so the documented surface is explicit"
+                ),
+            )
+            return
+
+        for name in exported:
+            if name not in bound:
+                yield Finding(
+                    rule=self.id,
+                    path=source_file.relative_path,
+                    line=all_node.lineno,
+                    col=all_node.col_offset,
+                    message=(
+                        f"__all__ exports {name!r} which is not defined or "
+                        "imported in the module (export drift)"
+                    ),
+                    symbol=name,
+                )
+
+        exported_set = set(exported)
+        for name, line in sorted(defined_public.items()):
+            if name not in exported_set:
+                yield Finding(
+                    rule=self.id,
+                    path=source_file.relative_path,
+                    line=line,
+                    col=0,
+                    message=(
+                        f"public definition {name} is missing from __all__; "
+                        "list it or rename it with a leading underscore"
+                    ),
+                    symbol=name,
+                )
