@@ -21,7 +21,15 @@ Everything a downstream caller needs lives here:
 * batch drivers — :func:`run_simulation` over pre-materialised workload
   rounds and :func:`run_competition` racing several tuners (optionally
   across processes) with deterministic report merging;
-* the report containers — :class:`RunReport`, :class:`RoundReport`.
+* the report containers — :class:`RunReport`, :class:`RoundReport`,
+  :class:`FleetSummary`;
+* multi-tenant tuning — :class:`TuningFleet` multiplexing thousands of
+  sessions per process with shared database snapshots and batched bandit
+  scoring, plus its recipes (:class:`TenantSpec`, :class:`FleetConfig`),
+  interner (:class:`DatabaseInterner`) and error surface
+  (:class:`UnknownTenantError`, :class:`DuplicateTenantError`); these
+  resolve lazily from :mod:`repro.fleet`, which builds on the session
+  layer.
 
 The experiment harness (:mod:`repro.harness`) reproduces the paper's tables
 and figures *on top of* this API; nothing there is required to tune a
@@ -56,21 +64,43 @@ from .session import (
 )
 from .competition import CompetitionEntry, DatabaseSpec, run_competition
 
+#: Names re-exported from :mod:`repro.fleet`.  Resolved lazily (PEP 562):
+#: the fleet builds on this package's session layer, so an eager import here
+#: would be circular; deferring it keeps both import orders working.
+_FLEET_EXPORTS = frozenset(
+    {
+        "DatabaseInterner",
+        "DuplicateTenantError",
+        "FleetConfig",
+        "FleetSummary",
+        "TenantSpec",
+        "TuningFleet",
+        "UnknownTenantError",
+    }
+)
+
 __all__ = [
     "BackendProfile",
     "CompetitionEntry",
+    "DatabaseInterner",
     "DatabaseSpec",
+    "DuplicateTenantError",
+    "FleetConfig",
+    "FleetSummary",
     "Recommendation",
     "RoundReport",
     "RunReport",
     "SimulationOptions",
     "SimulationTrace",
+    "TenantSpec",
     "TieredBackend",
     "Tuner",
     "TunerSpec",
+    "TuningFleet",
     "TuningSession",
     "UnknownBackendError",
     "UnknownPlacementTableError",
+    "UnknownTenantError",
     "UnknownTunerError",
     "create_tuner",
     "execute_round",
@@ -82,3 +112,23 @@ __all__ = [
     "run_competition",
     "run_simulation",
 ]
+
+
+def __getattr__(name: str) -> object:
+    if name not in _FLEET_EXPORTS:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value: object
+    if name == "FleetSummary":
+        from repro.harness import metrics
+
+        value = metrics.FleetSummary
+    else:
+        import repro.fleet
+
+        value = getattr(repro.fleet, name)
+    globals()[name] = value  # cache: resolve each name at most once
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -63,6 +63,34 @@ class DatabaseSpec:
     backend: "str | BackendProfile | None" = None
     table_backends: PlacementLike = None
 
+    def intern_key(self) -> "tuple[object, ...]":
+        """A hashable identity for the database this spec materialises.
+
+        Two specs with equal intern keys build bit-identical databases —
+        the key is every field, with the ``table_backends`` mapping (the one
+        unhashable spelling) rendered as sorted items.  The fleet's
+        :class:`~repro.fleet.DatabaseInterner` memoises materialisation on
+        this key so N identical tenants share one statistics snapshot.
+        """
+        placement: object = self.table_backends
+        if isinstance(placement, Mapping):
+            placement = tuple(sorted(placement.items()))
+        return (
+            self.benchmark_name,
+            self.scale_factor,
+            self.sample_rows,
+            self.seed,
+            self.memory_budget_multiplier,
+            self.backend,
+            placement,
+        )
+
+    def __hash__(self) -> int:
+        # The generated hash would choke on a dict-valued table_backends;
+        # hash the normalised intern key instead (consistent with field
+        # equality, since the key is a faithful rendering of every field).
+        return hash(self.intern_key())
+
     def create(self) -> Database:
         from repro.workloads.registry import get_benchmark
 

@@ -272,6 +272,35 @@ class TuningSession:
         self._phase = "execute"
         return self._recommendation
 
+    def adopt_recommendation(
+        self,
+        recommendation: Recommendation,
+        round_number: int | None = None,
+        wall_seconds: float = 0.0,
+    ) -> Recommendation:
+        """Start a round from a recommendation computed outside the session.
+
+        The fleet's batched scoring pass drives the tuner through its pool
+        protocol directly (one vectorised pass over many tenants) and then
+        hands each tuner's finished :class:`~repro.interface.Recommendation`
+        back to its session here, so the phase machine, round counter and
+        report accounting stay exactly as if :meth:`recommend` had run.
+        ``wall_seconds`` is the caller-attributed share of the batched pass's
+        wall time (the fleet divides the stacked pass evenly across the
+        tenants it scored).
+
+        Raises:
+            RuntimeError: If the session is not in the ``recommend`` phase.
+        """
+        self._require_phase("recommend")
+        self.round_number = (
+            round_number if round_number is not None else self.round_number + 1
+        )
+        self._recommendation = recommendation
+        self._wall_recommend = wall_seconds
+        self._phase = "execute"
+        return self._recommendation
+
     def execute(self, queries: list[Query]) -> list[ExecutionResult]:
         """Materialise the pending recommendation, then run the round's queries.
 

@@ -28,6 +28,8 @@ tests can pin the steady-state behaviour.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 
@@ -89,6 +91,87 @@ class LinearScorer:
                 f"contexts must have shape (k, {self.dimension}), got {contexts.shape}"
             )
         return self.expected_rewards(contexts) + alpha * self.exploration_bonus(contexts)
+
+
+def batch_upper_confidence_scores(
+    scorers: "Sequence[LinearScorer]",
+    context_blocks: "Sequence[np.ndarray]",
+    alphas: "Sequence[float]",
+) -> list[np.ndarray]:
+    """Score many independent learners' arm pools in one vectorized pass.
+
+    The multi-tenant fleet (:mod:`repro.fleet`) holds one :class:`C2UCB`
+    learner *per tenant*; at recommendation time every tenant contributes a
+    frozen :class:`LinearScorer` snapshot, its context block and its
+    exploration boost.  Rather than scoring the tenants one by one, this
+    entry point stacks same-shaped context blocks into one ``(T, k, d)``
+    tensor and computes every tenant's confidence widths with a single
+    batched ``matmul`` + ``einsum`` pass over the stacked ``V⁻¹`` tensor.
+
+    Bit-for-bit parity with per-tenant scoring is part of the contract (the
+    fleet's fleet-vs-independent-sessions parity test depends on it), so the
+    pass only uses operations whose batched form reduces each slice exactly
+    like the 2-D form:
+
+    * ``stacked @ v_inverse_stack`` — NumPy dispatches one GEMM per slice,
+      identical to ``contexts @ v_inverse``;
+    * ``einsum("tkd,tkd->tk", ...)`` — the same row-wise reduction as the
+      2-D ``einsum("ij,ij->i", ...)``;
+    * the expected-reward term stays a per-tenant GEMV (``contexts @
+      theta``), because folding the thetas into one GEMM changes the BLAS
+      accumulation order and therefore the low-order bits.
+
+    Blocks whose shape differs (tenants mid-divergence, ragged pools) are
+    grouped by shape; each group gets its own stacked pass.
+
+    Args:
+        scorers: One frozen scoring snapshot per tenant.
+        context_blocks: One ``(k_t, dimension)`` context matrix per tenant
+            (``k_t`` may differ between tenants).
+        alphas: One non-negative exploration boost per tenant.
+
+    Returns:
+        Per-tenant score vectors, each bit-identical to
+        ``scorers[t].upper_confidence_scores(context_blocks[t], alphas[t])``.
+
+    Raises:
+        ValueError: On length mismatches, a negative ``alpha``, or a context
+            block whose width does not match its scorer's dimension.
+    """
+    if not (len(scorers) == len(context_blocks) == len(alphas)):
+        raise ValueError(
+            f"got {len(scorers)} scorers, {len(context_blocks)} context "
+            f"blocks and {len(alphas)} alphas; all three must align"
+        )
+    blocks: list[np.ndarray] = []
+    for scorer, raw_block, alpha in zip(scorers, context_blocks, alphas):
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        block = np.asarray(raw_block, dtype=float)
+        if block.ndim == 1:
+            block = block.reshape(1, -1)
+        if block.ndim != 2 or block.shape[1] != scorer.dimension:
+            raise ValueError(
+                f"contexts must have shape (k, {scorer.dimension}), "
+                f"got {block.shape}"
+            )
+        blocks.append(block)
+
+    groups: dict[tuple[int, int], list[int]] = {}
+    for position, block in enumerate(blocks):
+        groups.setdefault(block.shape, []).append(position)
+
+    results: list[np.ndarray | None] = [None] * len(scorers)
+    for indices in groups.values():
+        stacked = np.stack([blocks[i] for i in indices])  # (T, k, d)
+        v_inverse_stack = np.stack([scorers[i].v_inverse for i in indices])
+        projected = stacked @ v_inverse_stack  # (T, k, d): one GEMM per slice
+        widths = np.einsum("tkd,tkd->tk", projected, stacked)
+        bonuses = np.sqrt(np.maximum(widths, 0.0))
+        for row, i in enumerate(indices):
+            expected = blocks[i] @ scorers[i].theta
+            results[i] = expected + alphas[i] * bonuses[row]
+    return [result for result in results if result is not None]
 
 
 class C2UCB:

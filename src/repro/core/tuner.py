@@ -46,6 +46,32 @@ from .rewards import compute_round_rewards
 _UNSET: "int | None" = object()  # type: ignore[assignment]
 
 
+@dataclasses.dataclass
+class PoolRound:
+    """One in-flight recommendation round of the pool-scoring protocol.
+
+    :meth:`MabTuner.begin_round` opens the round (QoI window, arm refresh,
+    exploration boost) and returns this handle; a caller — the tuner's own
+    :meth:`MabTuner.recommend` or the fleet's batched scoring pass
+    (:mod:`repro.fleet`) — scores the pool however it likes and closes the
+    round with :meth:`MabTuner.complete_round`.  ``arms`` is ``None`` when
+    the round has no queries of interest (the empty-QoI fast path).
+    """
+
+    round_number: int
+    #: ``perf_counter`` stamp at :meth:`MabTuner.begin_round` time; the
+    #: completed recommendation charges everything since as its cost.
+    started: float
+    #: The round's queries of interest (empty on the no-QoI fast path).
+    queries: list[Query]
+    #: The round's arm pool, or ``None`` when there are no queries of interest.
+    arms: "list[Arm] | None"
+    #: Exploration boost for the round.
+    alpha: float
+    #: Context matrix for ``arms`` (set by :meth:`MabTuner.pool_contexts`).
+    contexts: "np.ndarray | None" = None
+
+
 @dataclasses.dataclass(frozen=True)
 class ShardScoreStats:
     """Diagnostics of one sharded scoring pass (``MabTuner.last_shard_stats``)."""
@@ -117,10 +143,43 @@ class MabTuner(Tuner):
             call charged as recommendation time.
         """
         del training_queries  # the bandit never receives a training workload
+        pool = self.begin_round(round_number)
+        if pool.arms is None:
+            return self.complete_round(pool, None)
+        if self.config.shard_by is None:
+            contexts = self.pool_contexts(pool)
+            scores = self.bandit.upper_confidence_scores(contexts, pool.alpha)
+            return self.complete_round(pool, scores)
+        candidates, context_rows = self._score_sharded(
+            pool.arms, pool.queries, pool.alpha
+        )
+        return self._finish_with_candidates(pool, candidates, context_rows)
+
+    # ------------------------------------------------------------------ #
+    # the pool-scoring protocol (recommend split open for the fleet)
+    # ------------------------------------------------------------------ #
+    @property
+    def supports_batched_scoring(self) -> bool:
+        """Whether a fleet may score this tuner through the pool protocol.
+
+        True for the monolithic scoring mode; a tuner configured for sharded
+        scoring keeps its own (already parallel) per-shard pass.
+        """
+        return self.config.shard_by is None
+
+    def begin_round(self, round_number: int) -> PoolRound:
+        """Open a recommendation round: QoI window, arm refresh, alpha.
+
+        Everything up to (but excluding) the scoring pass of
+        :meth:`recommend`.  The returned handle must be closed with
+        :meth:`complete_round` (or the sharded path) exactly once; ``arms``
+        is ``None`` on the empty-QoI fast path, in which case no scoring is
+        needed and ``complete_round(pool, None)`` retains the materialised
+        configuration.
+        """
         # reprolint: disable=RL001 -- recommendation_seconds is the paper-reported wall time of the MAB's own scoring pass; no tuning decision reads it
         started = time.perf_counter()
         self.rounds_recommended += 1
-
         queries_of_interest = self.query_store.queries_of_interest(
             round_number, window_rounds=self.config.qoi_window_rounds
         )
@@ -130,52 +189,52 @@ class MabTuner(Tuner):
             # eviction).  Retain the current configuration rather than
             # returning [], which would make ``apply_configuration`` drop
             # every materialised index for no reason.
+            return PoolRound(
+                round_number=round_number,
+                started=started,
+                queries=[],
+                arms=None,
+                alpha=0.0,
+            )
+        arms = self._refresh_arms(queries_of_interest, round_number)
+        return PoolRound(
+            round_number=round_number,
+            started=started,
+            queries=queries_of_interest,
+            arms=arms,
+            alpha=self.config.alpha_at(round_number),
+        )
+
+    def pool_contexts(self, pool: PoolRound) -> np.ndarray:
+        """Build (and remember) the context matrix for an open round's pool."""
+        assert pool.arms is not None
+        pool.contexts = self.context_builder.build_matrix(
+            pool.arms, pool.queries, self.database
+        )
+        return pool.contexts
+
+    def complete_round(
+        self, pool: PoolRound, scores: "np.ndarray | None"
+    ) -> Recommendation:
+        """Close an open round from raw (jitter-free) pool scores.
+
+        ``scores`` must come from this tuner's bandit state over
+        ``pool.contexts`` — either :meth:`C2UCB.upper_confidence_scores`
+        directly or the fleet's batched
+        :func:`~repro.core.linear_bandit.batch_upper_confidence_scores` pass,
+        which is bit-identical by contract.  The tie-break jitter is drawn
+        here (one draw per pool, exactly as the monolithic pass always did),
+        so single-session and fleet-batched rounds consume the tuner's random
+        stream identically.  ``scores=None`` closes an empty-QoI round.
+        """
+        if pool.arms is None or scores is None:
             self._pending_selection = []
             return Recommendation(
                 configuration=list(self.database.materialised_indexes),
                 # reprolint: disable=RL001 -- paper-reported recommendation wall time (output only)
-                recommendation_seconds=time.perf_counter() - started,
+                recommendation_seconds=time.perf_counter() - pool.started,
             )
-
-        arms = self._refresh_arms(queries_of_interest, round_number)
-        alpha = self.config.alpha_at(round_number)
-        if self.config.shard_by is None:
-            candidates, context_rows = self._score_pool(
-                arms, queries_of_interest, alpha
-            )
-        else:
-            candidates, context_rows = self._score_sharded(
-                arms, queries_of_interest, alpha
-            )
-        selection = self.oracle.select(candidates, self.database.memory_budget_bytes)
-
-        self._pending_selection = [
-            (scored.arm, context_rows[scored.arm.index_id])
-            for scored in selection.selected
-        ]
-        configuration = [scored.arm.index for scored in selection.selected]
-        return Recommendation(
-            configuration=configuration,
-            # reprolint: disable=RL001 -- paper-reported recommendation wall time (output only)
-            recommendation_seconds=time.perf_counter() - started,
-        )
-
-    # ------------------------------------------------------------------ #
-    # scoring (monolithic and sharded)
-    # ------------------------------------------------------------------ #
-    def _score_pool(
-        self,
-        arms: list[Arm],
-        queries: list[Query],
-        alpha: float,
-    ) -> tuple[list[ScoredArm], dict[str, np.ndarray]]:
-        """Score the whole arm pool in one pass.
-
-        Returns the scored candidates (pool order) and each arm's context row
-        keyed by index id, for the reward attribution in :meth:`observe`.
-        """
-        contexts = self.context_builder.build_matrix(arms, queries, self.database)
-        scores = self.bandit.upper_confidence_scores(contexts, alpha)
+        assert pool.contexts is not None
         scores = scores + self.bandit.tie_break(len(scores))
         candidates = [
             ScoredArm(
@@ -184,11 +243,32 @@ class MabTuner(Tuner):
                 size_bytes=self.database.index_size_bytes(arm.index),
                 position=position,
             )
-            for position, (arm, score) in enumerate(zip(arms, scores))
+            for position, (arm, score) in enumerate(zip(pool.arms, scores))
         ]
-        context_rows = {arm.index_id: contexts[i] for i, arm in enumerate(arms)}
+        context_rows = {
+            arm.index_id: pool.contexts[i] for i, arm in enumerate(pool.arms)
+        }
         self.last_shard_stats = None
-        return candidates, context_rows
+        return self._finish_with_candidates(pool, candidates, context_rows)
+
+    def _finish_with_candidates(
+        self,
+        pool: PoolRound,
+        candidates: list[ScoredArm],
+        context_rows: dict[str, np.ndarray],
+    ) -> Recommendation:
+        """Select the super arm and assemble the round's recommendation."""
+        selection = self.oracle.select(candidates, self.database.memory_budget_bytes)
+        self._pending_selection = [
+            (scored.arm, context_rows[scored.arm.index_id])
+            for scored in selection.selected
+        ]
+        configuration = [scored.arm.index for scored in selection.selected]
+        return Recommendation(
+            configuration=configuration,
+            # reprolint: disable=RL001 -- paper-reported recommendation wall time (output only)
+            recommendation_seconds=time.perf_counter() - pool.started,
+        )
 
     def _score_sharded(
         self,

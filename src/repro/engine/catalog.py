@@ -187,6 +187,33 @@ class Database:
             table_backends=table_backends,
         )
 
+    def tenant_view(self) -> "Database":
+        """A lightweight per-tenant clone sharing this database's statistics.
+
+        The view shares every structure that is immutable or an
+        idempotent-by-value cache — the table samples, the statistics
+        catalog, the hypothetical-index size cache and the data-size total —
+        so a fleet of identical tenants pays for statistics once.  It gets
+        its own index catalog and its own :class:`CostModel` instance, so
+        tenants materialise different configurations (and retune placements)
+        without touching each other.  :meth:`refresh_statistics` on a view
+        rebuilds private copies, detaching it from its siblings.
+        """
+        view = object.__new__(type(self))
+        view.schema = self.schema
+        view._tables = self._tables
+        view.memory_budget_bytes = self.memory_budget_bytes
+        view.cost_model = CostModel(
+            self.cost_model.parameters, self.cost_model.table_profiles
+        )
+        view._indexes = {}
+        view._index_sizes = {}
+        view._histogram_buckets = self._histogram_buckets
+        view._hypothetical_sizes = self._hypothetical_sizes
+        view._data_size_bytes = self._data_size_bytes
+        view._statistics = self._statistics
+        return view
+
     # ------------------------------------------------------------------ #
     # tables and statistics
     # ------------------------------------------------------------------ #
@@ -322,7 +349,10 @@ class Database:
             self._statistics.add(
                 build_table_statistics(data, histogram_buckets=self._histogram_buckets)
             )
-        self._hypothetical_sizes.clear()
+        # Reassign (rather than .clear()) so a refreshed tenant_view detaches
+        # from the cache it shared with its siblings instead of emptying it
+        # under them.
+        self._hypothetical_sizes = {}
         self._data_size_bytes = None
 
     # ------------------------------------------------------------------ #

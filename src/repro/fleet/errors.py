@@ -1,0 +1,44 @@
+"""Fleet error surface, mirroring the tuner/backend registry conventions."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["DuplicateTenantError", "UnknownTenantError"]
+
+
+class UnknownTenantError(KeyError, ValueError):
+    """Raised for a tenant id the fleet does not know.
+
+    Subclasses both :class:`KeyError` and :class:`ValueError` to match the
+    :class:`repro.api.UnknownTunerError` /
+    :class:`repro.engine.UnknownBackendError` convention, so the same
+    ``except`` clauses handle lookups against any of the registries.  The
+    message lists every registered tenant id.
+    """
+
+    # KeyError.__str__ reprs the message (extra quotes); render it plainly.
+    __str__ = Exception.__str__
+
+    def __init__(self, tenant_id: str, known_tenants: Iterable[str]) -> None:
+        known = ", ".join(sorted(known_tenants)) or "none registered"
+        super().__init__(
+            f"unknown tenant {tenant_id!r}; registered tenants: {known}"
+        )
+        self.tenant_id = tenant_id
+
+
+class DuplicateTenantError(ValueError):
+    """Raised when a tenant id is registered twice on the same fleet.
+
+    Tenant ids key the fleet's deterministic result merge; silently replacing
+    an existing session would discard its learned bandit state, so the fleet
+    refuses instead.
+    """
+
+    def __init__(self, tenant_id: str) -> None:
+        super().__init__(
+            f"tenant {tenant_id!r} is already registered; "
+            "tenant ids must be unique within a fleet"
+        )
+        self.tenant_id = tenant_id

@@ -1,0 +1,48 @@
+"""Spec-keyed database interning: materialise each distinct spec once.
+
+Fleet startup used to be O(tenants) in the most expensive operation we have —
+sampling benchmark tables and building optimiser statistics — even when every
+tenant runs the same benchmark at the same scale.  The interner memoises
+materialisation on :meth:`~repro.api.DatabaseSpec.intern_key` and hands each
+tenant a :meth:`~repro.engine.Database.tenant_view`: a clone sharing the
+immutable table/statistics snapshot while owning its index catalog and cost
+model, so tenants tune independently on shared read-only state.
+"""
+
+from __future__ import annotations
+
+from repro.api.competition import DatabaseSpec
+from repro.engine.catalog import Database
+
+__all__ = ["DatabaseInterner"]
+
+
+class DatabaseInterner:
+    """Memo cache mapping database-spec identities to statistics snapshots.
+
+    ``misses`` counts actual materialisations, ``hits`` the tenants served
+    from an existing snapshot — 100 identical tenants cost ``misses == 1``,
+    ``hits == 99``.  The pristine snapshots themselves never tune (no tenant
+    ever holds one directly); every caller gets a fresh
+    :meth:`~repro.engine.Database.tenant_view`.
+    """
+
+    def __init__(self) -> None:
+        self._snapshots: dict[tuple[object, ...], Database] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def database_for(self, spec: DatabaseSpec) -> Database:
+        """A tenant-private view of the (shared, memoised) database for ``spec``."""
+        key = spec.intern_key()
+        snapshot = self._snapshots.get(key)
+        if snapshot is None:
+            self.misses += 1
+            snapshot = spec.create()
+            self._snapshots[key] = snapshot
+        else:
+            self.hits += 1
+        return snapshot.tenant_view()

@@ -34,6 +34,7 @@ _EXPORTS = {
     "table2_database_size_experiment": ".experiments",
     "Recommendation": "repro.interface",
     "Tuner": "repro.interface",
+    "FleetSummary": ".metrics",
     "RoundReport": ".metrics",
     "RunReport": ".metrics",
     "speedup_percentage": ".metrics",

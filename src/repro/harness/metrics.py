@@ -9,6 +9,7 @@ its per-round series (the convergence figures), and its breakdown by component
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Mapping
 
 
 @dataclass
@@ -133,6 +134,46 @@ class RunReport:
             "creation_seconds": round(self.total_creation_seconds, 2),
             "execution_seconds": round(self.total_execution_seconds, 2),
         }
+
+
+@dataclass
+class FleetSummary:
+    """Fleet-level rollup across many tenants' run reports.
+
+    Throughput derives exclusively from the per-round ``wall_*`` fields that
+    :class:`~repro.api.TuningSession` records (the sanctioned wall-clock
+    instrumentation path) — fleet code itself never reads a clock, so
+    reprolint's determinism allowlist stays exactly one file wide.
+    """
+
+    n_tenants: int = 0
+    #: Total tenant-rounds completed (each round steps one session once).
+    n_rounds: int = 0
+    #: Summed model time (the paper's C_tot) across every tenant.
+    model_seconds: float = 0.0
+    #: Summed measured wall time of every round's loop body.
+    wall_seconds: float = 0.0
+
+    @property
+    def rounds_per_second(self) -> float:
+        """Tenant-rounds (session steps) completed per wall second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.n_rounds / self.wall_seconds
+
+    @property
+    def wall_seconds_per_tenant(self) -> float:
+        return self.wall_seconds / self.n_tenants if self.n_tenants else 0.0
+
+    @classmethod
+    def from_reports(cls, reports: "Mapping[str, RunReport]") -> "FleetSummary":
+        """Aggregate one fleet's ``{tenant_id: RunReport}`` mapping."""
+        summary = cls(n_tenants=len(reports))
+        for report in reports.values():
+            summary.n_rounds += report.n_rounds
+            summary.model_seconds += report.total_seconds
+            summary.wall_seconds += report.wall_phase_totals()["total"]
+        return summary
 
 
 def speedup_percentage(baseline_seconds: float, candidate_seconds: float) -> float:

@@ -170,6 +170,29 @@ class TestRL002Picklability:
         assert rules_of(report) == ["RL002"]
         assert "frozen" in report.findings[0].message
 
+    def test_fleet_spec_classes_covered(self, tmp_path):
+        # TenantSpec and FleetConfig cross the same worker boundaries as the
+        # run_competition specs, so RL002 must police their frozen-ness too.
+        report = lint(
+            tmp_path,
+            {
+                "src/pkg/fleet.py": """
+                    from dataclasses import dataclass
+
+                    @dataclass
+                    class TenantSpec:
+                        tenant_id: str = "t0"
+
+                    @dataclass
+                    class FleetConfig:
+                        batch_scoring: bool = True
+                    """
+            },
+        )
+        assert rules_of(report) == ["RL002", "RL002"]
+        symbols = {finding.symbol for finding in report.findings}
+        assert symbols == {"TenantSpec", "FleetConfig"}
+
     def test_frozen_spec_with_factory_default_clean(self, tmp_path):
         report = lint(
             tmp_path,
@@ -456,6 +479,59 @@ class TestRL005PublicSurface:
             },
         )
         assert report.findings == []
+
+    def test_fleet_modules_are_audited(self, tmp_path):
+        report = lint(
+            tmp_path,
+            {
+                "src/repro/fleet/roster.py": """
+                    def roster() -> list:
+                        return []
+                    """
+            },
+        )
+        assert rules_of(report) == ["RL005"]
+        assert "no __all__" in report.findings[0].message
+
+    def test_lazy_exports_via_module_getattr_accepted(self, tmp_path):
+        # PEP 562 lazy re-export: names absent from the static bindings are
+        # fine when a top-level __getattr__ exists and a lazy-export table
+        # names them as string literals.
+        report = lint(
+            tmp_path,
+            {
+                "src/repro/api/lazy.py": """
+                    __all__ = ["Eager", "Lazy"]
+
+                    _LAZY_EXPORTS = frozenset({"Lazy"})
+
+
+                    class Eager:
+                        pass
+
+
+                    def __getattr__(name: str) -> object:
+                        raise AttributeError(name)
+                    """
+            },
+        )
+        assert report.findings == []
+
+    def test_lazy_export_still_flagged_without_module_getattr(self, tmp_path):
+        # The same lazy table without a __getattr__ cannot actually resolve
+        # the name, so the export-drift finding must survive.
+        report = lint(
+            tmp_path,
+            {
+                "src/repro/api/broken.py": """
+                    __all__ = ["Lazy"]
+
+                    _LAZY_EXPORTS = frozenset({"Lazy"})
+                    """
+            },
+        )
+        assert rules_of(report) == ["RL005"]
+        assert "'Lazy'" in report.findings[0].message
 
 
 # --------------------------------------------------------------------------- #

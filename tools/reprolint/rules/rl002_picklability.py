@@ -1,10 +1,12 @@
 """RL002 — frozen-spec picklability.
 
 The spec dataclasses (:class:`TunerSpec`, :class:`DatabaseSpec`,
-:class:`BackendProfile`, :class:`TieredBackend`, :class:`SimulationOptions`)
-cross process boundaries: ``run_competition`` pickles them into
-``ProcessPoolExecutor`` workers, and frozen-ness is what makes a spec safe to
-share between the parent and N workers without copy-on-write surprises.
+:class:`BackendProfile`, :class:`TieredBackend`, :class:`SimulationOptions`,
+:class:`TenantSpec`, :class:`FleetConfig`) cross process boundaries:
+``run_competition`` pickles them into ``ProcessPoolExecutor`` workers and
+fleet tenant rosters are declared spec-first, so frozen-ness is what makes a
+spec safe to share between the parent and N workers without copy-on-write
+surprises.
 
 Checked in ``src/`` (definitions) and ``src/`` + ``examples/`` (call sites):
 
@@ -28,7 +30,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Dataclasses that cross ``run_competition`` worker boundaries.
 SPEC_CLASSES = frozenset(
-    {"TunerSpec", "DatabaseSpec", "BackendProfile", "TieredBackend", "SimulationOptions"}
+    {
+        "TunerSpec",
+        "DatabaseSpec",
+        "BackendProfile",
+        "TieredBackend",
+        "SimulationOptions",
+        "TenantSpec",
+        "FleetConfig",
+    }
 )
 
 DEFINITION_TOP_DIRS = ("src",)

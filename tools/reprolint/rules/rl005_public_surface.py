@@ -10,9 +10,11 @@ Three checks keep the documented API surface honest:
   shim) are flagged in ``src/`` and ``examples/`` — ``docs/API.md``'s
   deprecations table names the replacements;
 * **``__all__`` discipline** in the strict-typed surface
-  (``src/repro/api/*.py``, ``src/repro/engine/backend.py``): ``__all__``
-  must exist, every entry must be bound in the module, and every public
-  top-level definition must be listed — so ``from repro.api import *`` and
+  (``src/repro/api/*.py``, ``src/repro/fleet/*.py``,
+  ``src/repro/engine/backend.py``): ``__all__`` must exist, every entry must
+  be bound in the module — statically, or through a PEP 562 module
+  ``__getattr__`` whose lazy-export table names it — and every public
+  top-level definition must be listed, so ``from repro.api import *`` and
   the docs never drift from the code.
 """
 
@@ -29,6 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Package roots examples may import from (plus bare ``repro``).
 PUBLIC_IMPORT_ROOTS = (
     "repro.api",
+    "repro.fleet",
     "repro.harness",
     "repro.workloads",
     "repro.engine",
@@ -47,7 +50,7 @@ DEPRECATED_NAMES = {
 }
 
 #: Modules whose ``__all__`` is audited (the strict-typed surface).
-ALL_AUDITED_PREFIXES = ("src/repro/api/",)
+ALL_AUDITED_PREFIXES = ("src/repro/api/", "src/repro/fleet/")
 ALL_AUDITED_FILES = ("src/repro/engine/backend.py",)
 
 #: Files allowed to import the deprecated paths: the shims themselves and the
@@ -169,6 +172,37 @@ class PublicSurfaceRule(Rule):
         bound: set[str] = set()
         defined_public: dict[str, int] = {}
 
+        # PEP 562 lazy re-export: when the module defines a top-level
+        # ``__getattr__``, names resolved through it are legitimately absent
+        # from the static bindings.  Accept an export as lazily bound when it
+        # appears as a string literal in a top-level assignment (the lazy
+        # export table — e.g. ``_FLEET_EXPORTS`` in ``repro.api`` or the
+        # ``_EXPORTS`` dict in ``repro.harness``).
+        has_module_getattr = any(
+            isinstance(statement, ast.FunctionDef) and statement.name == "__getattr__"
+            for statement in tree.body
+        )
+        lazily_bound: set[str] = set()
+        if has_module_getattr:
+            for statement in tree.body:
+                if not isinstance(statement, (ast.Assign, ast.AnnAssign)):
+                    continue
+                targets = (
+                    statement.targets
+                    if isinstance(statement, ast.Assign)
+                    else [statement.target]
+                )
+                if any(
+                    isinstance(target, ast.Name) and target.id == "__all__"
+                    for target in targets
+                ):
+                    continue
+                if statement.value is None:
+                    continue
+                for node in ast.walk(statement.value):
+                    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                        lazily_bound.add(node.value)
+
         def harvest(statements: Iterable[ast.stmt]) -> None:
             for statement in statements:
                 if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
@@ -232,7 +266,7 @@ class PublicSurfaceRule(Rule):
             return
 
         for name in exported:
-            if name not in bound:
+            if name not in bound and name not in lazily_bound:
                 yield Finding(
                     rule=self.id,
                     path=source_file.relative_path,
