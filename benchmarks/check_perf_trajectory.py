@@ -2,8 +2,9 @@
 
 The ``GUARDED_FILES`` under ``benchmarks/results/`` are the PR-to-PR record
 of the hot-loop latencies (``BENCH_recommend.json``), the per-placement
-session step times (``BENCH_tiered.json``), and the multi-tenant fleet
-throughput (``BENCH_fleet.json``).  Overwriting one with worse
+session step times (``BENCH_tiered.json``), the multi-tenant fleet
+throughput (``BENCH_fleet.json``), and the stress-suite safety runs
+(``BENCH_stress.json``).  Overwriting one with worse
 numbers — because a change made the loop slower and nobody compared — would
 quietly reset the trajectory the ROADMAP tracks.  This script compares
 freshly measured candidates against the committed baselines and fails when
@@ -34,7 +35,12 @@ import sys
 from pathlib import Path
 
 #: Result files under benchmarks/results/ guarded in directory mode.
-GUARDED_FILES = ("BENCH_recommend.json", "BENCH_tiered.json", "BENCH_fleet.json")
+GUARDED_FILES = (
+    "BENCH_recommend.json",
+    "BENCH_tiered.json",
+    "BENCH_fleet.json",
+    "BENCH_stress.json",
+)
 
 
 def collect_p50s(payload, prefix: str = "") -> dict[str, float]:

@@ -22,7 +22,9 @@ Everything a downstream caller needs lives here:
   rounds and :func:`run_competition` racing several tuners (optionally
   across processes) with deterministic report merging;
 * the report containers — :class:`RunReport`, :class:`RoundReport`,
-  :class:`FleetSummary`;
+  :class:`FleetSummary` — and the safety layer pairing tuned runs against
+  the NoIndex baseline: :class:`SafetyReport`, :func:`safety_reports`,
+  :func:`rank_by_safety`, :class:`MissingBaselineError`;
 * multi-tenant tuning — :class:`TuningFleet` multiplexing thousands of
   sessions per process with shared database snapshots and batched bandit
   scoring, plus its recipes (:class:`TenantSpec`, :class:`FleetConfig`),
@@ -45,7 +47,14 @@ from repro.engine.backend import (
     register_backend,
     registered_backend_names,
 )
-from repro.harness.metrics import RoundReport, RunReport
+from repro.harness.metrics import (
+    MissingBaselineError,
+    RoundReport,
+    RunReport,
+    SafetyReport,
+    rank_by_safety,
+    safety_reports,
+)
 from repro.interface import Recommendation, Tuner
 
 from .registry import (
@@ -56,6 +65,7 @@ from .registry import (
     registered_tuner_names,
 )
 from .session import (
+    DatabaseEvent,
     SimulationOptions,
     SimulationTrace,
     TuningSession,
@@ -82,14 +92,17 @@ _FLEET_EXPORTS = frozenset(
 __all__ = [
     "BackendProfile",
     "CompetitionEntry",
+    "DatabaseEvent",
     "DatabaseInterner",
     "DatabaseSpec",
     "DuplicateTenantError",
     "FleetConfig",
     "FleetSummary",
+    "MissingBaselineError",
     "Recommendation",
     "RoundReport",
     "RunReport",
+    "SafetyReport",
     "SimulationOptions",
     "SimulationTrace",
     "TenantSpec",
@@ -105,12 +118,14 @@ __all__ = [
     "create_tuner",
     "execute_round",
     "get_backend",
+    "rank_by_safety",
     "register_backend",
     "register_tuner",
     "registered_backend_names",
     "registered_tuner_names",
     "run_competition",
     "run_simulation",
+    "safety_reports",
 ]
 
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Iterable, Protocol
 
 from repro.engine.backend import BackendProfile, PlacementLike, TieredBackend
 from repro.engine.catalog import ConfigurationChange, Database
@@ -41,12 +41,25 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.workloads.generator import WorkloadRound
 
 __all__ = [
+    "DatabaseEvent",
     "SimulationOptions",
     "SimulationTrace",
     "TuningSession",
     "execute_round",
     "run_simulation",
 ]
+
+
+class DatabaseEvent(Protocol):
+    """A workload-visible environment change applied to a session's database.
+
+    The stress generators (:mod:`repro.workloads.stress`) attach frozen event
+    specs — tier migrations, table growth — to
+    :attr:`~repro.workloads.generator.WorkloadRound.events`; anything with an
+    ``apply(database)`` method satisfies the protocol.
+    """
+
+    def apply(self, database: Database) -> object: ...  # pragma: no cover - protocol
 
 
 @dataclass(frozen=True)
@@ -92,6 +105,12 @@ class SimulationOptions:
             Applied via :meth:`repro.engine.Database.set_table_backends` (a
             lasting change, like ``backend``); every spelling pickles across
             ``run_competition(workers>1)`` boundaries.
+        apply_events: Whether :meth:`TuningSession.step_workload_round`
+            applies a round's workload-visible environment events (tier
+            migrations, table growth — see :mod:`repro.workloads.stress`)
+            to the session's database before recommending.  Defaults to
+            ``True``; disable to replay a stress sequence on a frozen
+            environment.
     """
 
     noise_sigma: float = 0.03
@@ -109,6 +128,11 @@ class SimulationOptions:
     backend: "str | BackendProfile | None" = None
     #: Per-table placement for the session's database (``None`` = keep).
     table_backends: PlacementLike = None
+    #: Apply :attr:`WorkloadRound.events <repro.workloads.generator.WorkloadRound.events>`
+    #: (tier migrations, table growth — see :mod:`repro.workloads.stress`) to
+    #: the session's database before each round's recommendation.  Disable to
+    #: replay a stress sequence as plain queries on a frozen environment.
+    apply_events: bool = True
 
 
 @dataclass
@@ -408,8 +432,31 @@ class TuningSession:
     # ------------------------------------------------------------------ #
     # lifecycle and results
     # ------------------------------------------------------------------ #
+    def apply_events(self, events: Iterable[DatabaseEvent]) -> None:
+        """Apply workload-visible environment events to this session's database.
+
+        Stress sequences (:mod:`repro.workloads.stress`) schedule tier
+        migrations and table growth on their rounds; the driver applies them
+        *before* the round's recommendation so the tuner faces the changed
+        world immediately.  Only legal between rounds.
+
+        Raises:
+            RuntimeError: If called mid-round (the session must be in the
+                ``recommend`` phase).
+        """
+        self._require_phase("recommend")
+        for event in events:
+            event.apply(self.database)
+
     def step_workload_round(self, workload_round: "WorkloadRound") -> RoundReport:
-        """Step over one pre-materialised workload round (the batch protocol)."""
+        """Step over one pre-materialised workload round (the batch protocol).
+
+        When ``options.apply_events`` is set (the default) the round's
+        :attr:`~repro.workloads.generator.WorkloadRound.events` are applied to
+        the session's database first — see :meth:`apply_events`.
+        """
+        if self.options.apply_events and workload_round.events:
+            self.apply_events(workload_round.events)
         training = (
             workload_round.pdtool_training_queries
             if workload_round.invoke_pdtool

@@ -355,6 +355,41 @@ class Database:
         self._hypothetical_sizes = {}
         self._data_size_bytes = None
 
+    def grow_table(self, table_name: str, row_multiplier: float) -> TableData:
+        """Scale a table's logical row count mid-run and refresh statistics.
+
+        Models data ingest: the sample (and therefore the value distributions
+        templates draw literals from) stays fixed while the full-size row
+        count — what every scan, join and index build is priced on — grows by
+        ``row_multiplier``.  Statistics are rebuilt immediately, so the very
+        next plan, index-size estimate and context feature sees the new
+        volume; this is what makes schema/data growth a workload-visible
+        stressor (:mod:`repro.workloads.stress`).
+
+        The table mapping is reassigned, not mutated, so a
+        :meth:`tenant_view` that grows a table detaches from the snapshot it
+        shared with its siblings instead of growing it under them.
+
+        Returns:
+            The table's new :class:`TableData`.
+
+        Raises:
+            UnknownTableError: If the database has no such table.
+            ValueError: If ``row_multiplier`` is not positive.
+        """
+        if row_multiplier <= 0:
+            raise ValueError("row_multiplier must be positive")
+        data = self.table_data(table_name)
+        grown = TableData(
+            table=data.table,
+            columns=data.columns,
+            full_row_count=max(int(data.full_row_count * row_multiplier), 1),
+            distinct_hints=dict(data.distinct_hints),
+        )
+        self._tables = {**self._tables, table_name: grown}
+        self.refresh_statistics()
+        return grown
+
     # ------------------------------------------------------------------ #
     # index catalogue
     # ------------------------------------------------------------------ #

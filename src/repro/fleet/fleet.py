@@ -21,6 +21,7 @@ multiplexes their round protocol the way a DBaaS control plane would:
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Mapping
 
 from repro.api.registry import create_tuner
@@ -35,12 +36,30 @@ from .specs import FleetConfig, TenantSpec
 if TYPE_CHECKING:  # pragma: no cover - typing only
     import numpy as np
 
+    from repro.api.session import DatabaseEvent
     from repro.core.tuner import MabTuner, PoolRound
     from repro.engine.query import Query
     from repro.interface import Recommendation
     from repro.workloads.generator import WorkloadRound
 
 __all__ = ["TuningFleet"]
+
+
+@dataclass
+class _PendingRound:
+    """One queued round for one tenant: queries plus the round protocol.
+
+    Carrying the full protocol (events, offline-tool training workload,
+    shift flag, round number) through the queue is what keeps submit/drain
+    bit-identical to standalone :meth:`~repro.api.TuningSession.step_workload_round`
+    calls even when tenants run *different* workload regimes concurrently.
+    """
+
+    queries: "list[Query]"
+    events: "tuple[DatabaseEvent, ...]" = ()
+    training_queries: "list[Query] | None" = None
+    is_shift_round: bool = False
+    round_number: int | None = None
 
 
 class TuningFleet:
@@ -62,7 +81,7 @@ class TuningFleet:
         self.config = config or FleetConfig()
         self.interner = DatabaseInterner()
         self._sessions: dict[str, TuningSession] = {}
-        self._queue: dict[str, deque[list[Query]]] = {}
+        self._queue: dict[str, deque[_PendingRound]] = {}
         for spec in tenants:
             self.add_tenant(spec)
 
@@ -120,20 +139,65 @@ class TuningFleet:
     # ------------------------------------------------------------------ #
     # the queue-driven step API
     # ------------------------------------------------------------------ #
-    def submit(self, tenant_id: str, queries: Iterable[Query]) -> None:
-        """Enqueue one round's query batch for a tenant.
+    def submit(
+        self,
+        tenant_id: str,
+        queries: Iterable[Query],
+        events: "Iterable[DatabaseEvent]" = (),
+        training_queries: "list[Query] | None" = None,
+        is_shift_round: bool = False,
+        round_number: int | None = None,
+    ) -> None:
+        """Enqueue one round's query batch (and its round protocol) for a tenant.
 
         Submissions may arrive in any order across tenants; each tenant's own
         batches run in submission order, and :meth:`drain` merges results by
         tenant id and round number, so the arrival order is unobservable in
-        the output.
+        the output.  ``events`` are the round's workload-visible environment
+        changes (see :mod:`repro.workloads.stress`), applied to the tenant's
+        database just before its recommendation when the round runs;
+        ``training_queries``, ``is_shift_round`` and ``round_number`` mirror
+        the single-session :meth:`~repro.api.TuningSession.step` protocol and
+        are carried per submission, so tenants running different workload
+        regimes stay bit-identical to their standalone sessions.
 
         Raises:
             UnknownTenantError: If nobody registered ``tenant_id``.
         """
         if tenant_id not in self._sessions:
             raise UnknownTenantError(tenant_id, self._sessions)
-        self._queue.setdefault(tenant_id, deque()).append(list(queries))
+        self._queue.setdefault(tenant_id, deque()).append(
+            _PendingRound(
+                queries=list(queries),
+                events=tuple(events),
+                training_queries=training_queries,
+                is_shift_round=is_shift_round,
+                round_number=round_number,
+            )
+        )
+
+    def submit_workload_round(
+        self, tenant_id: str, workload_round: "WorkloadRound"
+    ) -> None:
+        """Enqueue one pre-materialised workload round for a tenant.
+
+        The convenience spelling for stress rosters: carries the round's
+        queries, events, offline-tool training workload, shift flag and round
+        number through the queue, so a drained fleet replays exactly what
+        :meth:`~repro.api.TuningSession.step_workload_round` would run.
+        """
+        self.submit(
+            tenant_id,
+            workload_round.queries,
+            events=workload_round.events,
+            training_queries=(
+                workload_round.pdtool_training_queries
+                if workload_round.invoke_pdtool
+                else None
+            ),
+            is_shift_round=workload_round.is_shift_round,
+            round_number=workload_round.round_number,
+        )
 
     @property
     def pending_rounds(self) -> int:
@@ -161,7 +225,7 @@ class TuningFleet:
                 for tenant_id, batches in sorted(queue.items())
                 if batches
             }
-            for tenant_id, report in self.step(wave).items():
+            for tenant_id, report in self._run_wave(wave).items():
                 reports[tenant_id].append(report)
         return reports
 
@@ -174,6 +238,7 @@ class TuningFleet:
         training_queries: "list[Query] | None" = None,
         is_shift_round: bool = False,
         round_number: int | None = None,
+        events: "Mapping[str, tuple[DatabaseEvent, ...]] | None" = None,
     ) -> dict[str, RoundReport]:
         """Run one full round for every tenant in ``batch``.
 
@@ -182,35 +247,81 @@ class TuningFleet:
         run per tenant, in canonical order.  ``training_queries``,
         ``is_shift_round`` and ``round_number`` mirror the single-session
         :meth:`~repro.api.TuningSession.step` protocol (offline tuners see
-        the training workload; pool tuners ignore it).
+        the training workload; pool tuners ignore it).  ``events`` maps
+        tenant ids to this round's workload-visible environment changes
+        (see :mod:`repro.workloads.stress`), applied to each tenant's
+        database in canonical order *before* any recommendation — exactly
+        where a standalone session applies them — and skipped for sessions
+        whose options disable ``apply_events``.
 
         Raises:
-            UnknownTenantError: If ``batch`` names an unregistered tenant.
+            UnknownTenantError: If ``batch`` (or ``events``) names an
+                unregistered tenant.
         """
-        order = sorted(batch)
+        if events:
+            for tenant_id in events:
+                if tenant_id not in self._sessions:
+                    raise UnknownTenantError(tenant_id, self._sessions)
+        wave = {
+            tenant_id: _PendingRound(
+                queries=queries,
+                events=events.get(tenant_id, ()) if events else (),
+                training_queries=training_queries,
+                is_shift_round=is_shift_round,
+                round_number=round_number,
+            )
+            for tenant_id, queries in batch.items()
+        }
+        return self._run_wave(wave)
+
+    def _run_wave(self, wave: Mapping[str, _PendingRound]) -> dict[str, RoundReport]:
+        """Run one round for every tenant in ``wave``, per-tenant protocol.
+
+        Events first (canonical order, honouring each session's
+        ``options.apply_events``), then one batched scoring pass over the
+        pool-compatible tenants, then per-tenant execute/observe — each step
+        using that tenant's own round metadata.
+        """
+        order = sorted(wave)
         for tenant_id in order:
             if tenant_id not in self._sessions:
                 raise UnknownTenantError(tenant_id, self._sessions)
+        for tenant_id in order:
+            pending = wave[tenant_id]
+            session = self._sessions[tenant_id]
+            if pending.events and session.options.apply_events:
+                session.apply_events(pending.events)
         if self.config.batch_scoring:
             batched = [t for t in order if self._pool_tuner(t) is not None]
         else:
             batched = []
         if batched:
-            self._adopt_batched_recommendations(batched, round_number)
+            self._adopt_batched_recommendations(
+                batched, {t: wave[t].round_number for t in batched}
+            )
         direct = set(order) - set(batched)
         reports: dict[str, RoundReport] = {}
         for tenant_id in order:
+            pending = wave[tenant_id]
             session = self._sessions[tenant_id]
             if tenant_id in direct:
-                session.recommend(training_queries, round_number=round_number)
-            session.execute(batch[tenant_id])
-            reports[tenant_id] = session.observe(is_shift_round=is_shift_round)
+                session.recommend(
+                    pending.training_queries, round_number=pending.round_number
+                )
+            session.execute(pending.queries)
+            reports[tenant_id] = session.observe(is_shift_round=pending.is_shift_round)
         return reports
 
     def step_workload_round(
         self, workload_round: "WorkloadRound"
     ) -> dict[str, RoundReport]:
-        """Step every registered tenant over one shared workload round."""
+        """Step every registered tenant over one shared workload round.
+
+        The round's :attr:`~repro.workloads.generator.WorkloadRound.events`
+        are applied to every tenant (honouring each session's
+        ``options.apply_events``), mirroring the standalone
+        :meth:`~repro.api.TuningSession.step_workload_round` protocol.
+        """
         training = (
             workload_round.pdtool_training_queries
             if workload_round.invoke_pdtool
@@ -221,6 +332,9 @@ class TuningFleet:
             training_queries=training,
             is_shift_round=workload_round.is_shift_round,
             round_number=workload_round.round_number,
+            events={tid: workload_round.events for tid in self.tenant_ids}
+            if workload_round.events
+            else None,
         )
 
     # ------------------------------------------------------------------ #
@@ -234,7 +348,7 @@ class TuningFleet:
         return None
 
     def _adopt_batched_recommendations(
-        self, tenant_ids: list[str], round_number: int | None = None
+        self, tenant_ids: list[str], round_numbers: Mapping[str, int | None]
     ) -> None:
         """One vectorized scoring pass feeding many sessions' next rounds.
 
@@ -252,6 +366,7 @@ class TuningFleet:
             session = self._sessions[tenant_id]
             tuner = self._pool_tuner(tenant_id)
             assert tuner is not None
+            round_number = round_numbers.get(tenant_id)
             pool = tuner.begin_round(
                 round_number if round_number is not None else session.round_number + 1
             )
@@ -274,6 +389,6 @@ class TuningFleet:
             recommendation = finished[tenant_id]
             self._sessions[tenant_id].adopt_recommendation(
                 recommendation,
-                round_number=round_number,
+                round_number=round_numbers.get(tenant_id),
                 wall_seconds=recommendation.recommendation_seconds,
             )

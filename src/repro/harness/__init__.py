@@ -35,8 +35,12 @@ _EXPORTS = {
     "Recommendation": "repro.interface",
     "Tuner": "repro.interface",
     "FleetSummary": ".metrics",
+    "MissingBaselineError": ".metrics",
     "RoundReport": ".metrics",
     "RunReport": ".metrics",
+    "SafetyReport": ".metrics",
+    "rank_by_safety": ".metrics",
+    "safety_reports": ".metrics",
     "speedup_percentage": ".metrics",
     "convergence_series": ".reporting",
     "exploration_cost_summary": ".reporting",

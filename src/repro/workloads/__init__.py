@@ -14,7 +14,28 @@ from .generator import (
     WorkloadSequence,
     round_to_round_repeat_rate,
 )
-from .registry import BENCHMARK_NAMES, available_benchmarks, get_benchmark
+from .registry import (
+    BENCHMARK_NAMES,
+    UnknownStressorError,
+    available_benchmarks,
+    available_stressors,
+    get_benchmark,
+    get_stressor,
+    register_stressor,
+)
+from .stress import (
+    ChurnWorkload,
+    FlashTrafficWorkload,
+    SchemaGrowthWorkload,
+    SeasonalWorkload,
+    StressWorkload,
+    TableGrowthEvent,
+    TierMigrationEvent,
+    TierMigrationWorkload,
+    query_fingerprint,
+    round_fingerprint,
+    sequence_fingerprint,
+)
 from .templates import (
     PredicateTemplate,
     QueryTemplate,
@@ -30,22 +51,37 @@ from .templates import (
 __all__ = [
     "BENCHMARK_NAMES",
     "Benchmark",
+    "ChurnWorkload",
     "DEFAULT_SAMPLE_ROWS",
+    "FlashTrafficWorkload",
     "PredicateTemplate",
     "QueryTemplate",
     "RandomWorkload",
+    "SchemaGrowthWorkload",
+    "SeasonalWorkload",
     "ShiftingWorkload",
     "StaticWorkload",
+    "StressWorkload",
+    "TableGrowthEvent",
+    "TierMigrationEvent",
+    "TierMigrationWorkload",
+    "UnknownStressorError",
     "ValueMode",
     "WorkloadRound",
     "WorkloadSequence",
     "available_benchmarks",
+    "available_stressors",
     "between",
     "bottom_fraction",
     "eq",
     "get_benchmark",
+    "get_stressor",
     "in_list",
     "join",
+    "query_fingerprint",
+    "register_stressor",
+    "round_fingerprint",
     "round_to_round_repeat_rate",
+    "sequence_fingerprint",
     "top_fraction",
 ]

@@ -42,6 +42,11 @@ class WorkloadRound:
     pdtool_training_queries: list[Query] = field(default_factory=list)
     #: True when the sequencer knows the workload just shifted (for reporting).
     is_shift_round: bool = False
+    #: Workload-visible environment changes (tier migrations, table growth)
+    #: the driver applies to its database *before* the round's recommendation
+    #: — see :mod:`repro.workloads.stress`.  Empty for the paper's three
+    #: classic regimes.
+    events: tuple = ()
 
     @property
     def template_ids(self) -> set[str]:

@@ -1,8 +1,11 @@
-"""Benchmark registry: look benchmarks up by name."""
+"""Benchmark and stressor registries: look workloads up by name."""
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable, TypeVar
+
+if TYPE_CHECKING:
+    from .stress import StressWorkload
 
 from .base import Benchmark
 from .imdb import build_benchmark as _build_imdb
@@ -36,4 +39,57 @@ def get_benchmark(name: str) -> Benchmark:
             return _BUILDERS[key]()
     raise KeyError(
         f"unknown benchmark {name!r}; available: {', '.join(available_benchmarks())}"
+    )
+
+
+# --------------------------------------------------------------------- #
+# adversarial stressor registry (see repro.workloads.stress)
+# --------------------------------------------------------------------- #
+_STRESSORS: dict[str, type["StressWorkload"]] = {}
+
+_S = TypeVar("_S", bound="type[StressWorkload]")
+
+
+class UnknownStressorError(KeyError, ValueError):
+    """Raised when a stressor name is not registered; lists valid names."""
+
+
+def register_stressor(name: str) -> Callable[[_S], _S]:
+    """Class decorator registering an adversarial workload under ``name``."""
+
+    def decorator(cls: _S) -> _S:
+        if name in _STRESSORS and _STRESSORS[name] is not cls:
+            raise ValueError(f"stressor name {name!r} already registered")
+        _STRESSORS[name] = cls
+        return cls
+
+    return decorator
+
+
+def _load_stressors() -> None:
+    # The stress module registers its classes on import; imported lazily so
+    # the registry stays import-cycle-free (stress.py imports this module).
+    from . import stress  # noqa: F401
+
+
+def available_stressors() -> list[str]:
+    """Names accepted by :func:`get_stressor`."""
+    _load_stressors()
+    return sorted(_STRESSORS)
+
+
+def get_stressor(name: str) -> type["StressWorkload"]:
+    """Look up a registered stressor class by name.
+
+    Raises :class:`UnknownStressorError` (a ``KeyError`` *and* ``ValueError``)
+    naming the registered stressors when the name is unknown.
+    """
+    _load_stressors()
+    lowered = name.strip().lower()
+    for key in (lowered, lowered.replace("-", "_"), lowered.replace(" ", "_")):
+        if key in _STRESSORS:
+            return _STRESSORS[key]
+    raise UnknownStressorError(
+        f"unknown stressor {name!r}; registered stressors: "
+        f"{', '.join(sorted(_STRESSORS))}"
     )

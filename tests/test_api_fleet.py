@@ -412,3 +412,134 @@ class TestSubmitDrain:
         session.observe()
         fleet.step({"t": ssb_rounds[1].queries})  # clean rounds still work
         assert session.report.n_rounds == 2
+
+
+# --------------------------------------------------------------------- #
+# mixed-stressor rosters: parity under adversarial workloads
+# --------------------------------------------------------------------- #
+class TestFleetUnderStress:
+    """Tenants running *different* adversarial stressors concurrently must
+    stay bit-for-bit with their standalone sessions — including the rounds'
+    environment events (tier migrations, table growth), the offline-tool
+    training workloads, and shift flags, all carried through the queue under
+    shuffled submission arrival."""
+
+    STRESS_ROSTER = (
+        ("t-churn", "PDTool", "churn"),
+        ("t-flash", "DDQN", "flash_traffic"),
+        ("t-growth", "MAB", "schema_growth"),
+        ("t-noop", "NoIndex", "tier_migration"),
+        ("t-season", "DDQN_SC", "seasonal"),
+        ("t-tier", "MAB", "tier_migration"),
+    )
+    N_STRESS_ROUNDS = 5
+
+    @pytest.fixture(scope="class")
+    def stress_rounds(self):
+        from repro.workloads import get_stressor
+
+        benchmark = get_benchmark("ssb")
+        database = tiny_spec().create()
+        return {
+            stressor: get_stressor(stressor)(
+                database,
+                benchmark.templates[:4],
+                n_rounds=self.N_STRESS_ROUNDS,
+                seed=6,
+            ).materialise()
+            for _tid, _tuner, stressor in self.STRESS_ROSTER
+        }
+
+    @staticmethod
+    def stress_reference(tuner_name: str, rounds) -> TuningSession:
+        """The parity oracle: the tenant's stressor run in its own session."""
+        database = tiny_spec().create()
+        session = TuningSession(database, create_tuner(tuner_name, database))
+        for workload_round in rounds:
+            session.step_workload_round(workload_round)
+        return session
+
+    def _submit_shuffled_rounds(self, fleet, rounds_by_tenant, seed: int) -> None:
+        pending = {tid: list(rounds) for tid, rounds in rounds_by_tenant.items()}
+        rng = random.Random(seed)
+        while any(pending.values()):
+            tenant_id = rng.choice(sorted(t for t in pending if pending[t]))
+            fleet.submit_workload_round(tenant_id, pending[tenant_id].pop(0))
+
+    def test_mixed_stressor_roster_matches_standalone_sessions(self, stress_rounds):
+        references = {
+            tid: self.stress_reference(tuner, stress_rounds[stressor])
+            for tid, tuner, stressor in self.STRESS_ROSTER
+        }
+        fleet = TuningFleet(
+            TenantSpec(tid, tiny_spec(), tuner=tuner)
+            for tid, tuner, _stressor in self.STRESS_ROSTER
+        )
+        self._submit_shuffled_rounds(
+            fleet,
+            {tid: stress_rounds[stressor] for tid, _tuner, stressor in self.STRESS_ROSTER},
+            seed=20210409,
+        )
+        drained = fleet.drain()
+
+        assert list(drained) == fleet.tenant_ids
+        for tid, _tuner, _stressor in self.STRESS_ROSTER:
+            session = fleet.session(tid)
+            assert deterministic_rows(session.report) == deterministic_rows(
+                references[tid].report
+            ), f"fleet tenant {tid} diverged from its standalone session"
+            assert configuration_of(session) == configuration_of(references[tid])
+
+    def test_stress_submission_order_is_unobservable(self, stress_rounds):
+        outcomes = []
+        for seed in (1, 2):
+            fleet = TuningFleet(
+                TenantSpec(tid, tiny_spec(), tuner=tuner)
+                for tid, tuner, _stressor in self.STRESS_ROSTER
+            )
+            self._submit_shuffled_rounds(
+                fleet,
+                {
+                    tid: stress_rounds[stressor]
+                    for tid, _tuner, stressor in self.STRESS_ROSTER
+                },
+                seed=seed,
+            )
+            fleet.drain()
+            outcomes.append(
+                {
+                    tid: (
+                        deterministic_rows(fleet.session(tid).report),
+                        configuration_of(fleet.session(tid)),
+                    )
+                    for tid in fleet.tenant_ids
+                }
+            )
+        assert outcomes[0] == outcomes[1]
+
+    def test_interned_tenants_stay_isolated_under_growth_events(self, stress_rounds):
+        """Growth events on one tenant's view must not leak into siblings
+        sharing the interned statistics snapshot."""
+        fleet = TuningFleet(
+            [
+                TenantSpec("grower", tiny_spec(), tuner="NoIndex"),
+                TenantSpec("bystander", tiny_spec(), tuner="NoIndex"),
+            ]
+        )
+        grower_db = fleet.session("grower").database
+        bystander_db = fleet.session("bystander").database
+
+        grown_tables = []
+        before = {}
+        for workload_round in stress_rounds["schema_growth"]:
+            for event in workload_round.events:
+                grown_tables.append(event.table)
+                before.setdefault(event.table, grower_db.table_data(event.table).full_row_count)
+            fleet.submit_workload_round("grower", workload_round)
+            fleet.submit("bystander", workload_round.queries)
+        fleet.drain()
+
+        assert grown_tables, "the schema-growth sequence scheduled no events"
+        for table in grown_tables:
+            assert grower_db.table_data(table).full_row_count > before[table]
+            assert bystander_db.table_data(table).full_row_count == before[table]

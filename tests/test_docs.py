@@ -53,6 +53,7 @@ def test_documentation_set_is_complete():
         "docs/ARCHITECTURE.md",
         "docs/API.md",
         "docs/BENCHMARKS.md",
+        "docs/SAFETY.md",
         "docs/STATIC_ANALYSIS.md",
     } <= names
 
@@ -63,6 +64,7 @@ def test_readme_links_every_docs_page():
         "docs/ARCHITECTURE.md",
         "docs/API.md",
         "docs/BENCHMARKS.md",
+        "docs/SAFETY.md",
         "docs/STATIC_ANALYSIS.md",
     )
     for page in pages:

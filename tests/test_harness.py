@@ -6,9 +6,13 @@ from repro.baselines import NoIndexTuner
 from repro.core import MabTuner
 from repro.harness import (
     ExperimentSettings,
+    MissingBaselineError,
     RoundReport,
     RunReport,
+    SafetyReport,
     SimulationOptions,
+    rank_by_safety,
+    safety_reports,
     aggregate_rl_series,
     build_workload_rounds,
     convergence_series,
@@ -60,6 +64,102 @@ class TestMetrics:
         assert speedup_percentage(100, 75) == pytest.approx(25.0)
         assert speedup_percentage(100, 125) == pytest.approx(-25.0)
         assert speedup_percentage(0, 10) == 0.0
+
+
+class TestSafetyMetrics:
+    @staticmethod
+    def report_with(name, totals, drops=()):
+        report = RunReport(tuner_name=name, benchmark_name="tiny", workload_type="stress")
+        drops = tuple(drops) or (0,) * len(totals)
+        for round_number, (total, dropped) in enumerate(zip(totals, drops), start=1):
+            report.rounds.append(RoundReport(
+                round_number=round_number,
+                execution_seconds=total,
+                indexes_dropped=dropped,
+            ))
+        return report
+
+    def test_from_reports_metrics(self):
+        baseline = self.report_with("NoIndex", (10.0, 10.0, 10.0, 10.0))
+        # round speedups: 2.0x (win), 0.5x (regression), 1.0x, 1.25x (win)
+        candidate = self.report_with("MAB", (5.0, 20.0, 10.0, 8.0), drops=(0, 2, 0, 0))
+        safety = SafetyReport.from_reports(candidate, baseline)
+        assert safety.tuner_name == "MAB" and safety.baseline_name == "NoIndex"
+        assert safety.per_round_regret == pytest.approx([-5.0, 10.0, 0.0, -2.0])
+        assert safety.total_regret_seconds == pytest.approx(3.0)
+        assert safety.worst_round_regression_ratio == pytest.approx(0.5)
+        assert safety.regression_rounds == [2]
+        assert safety.regression_count == 1
+        assert safety.win_count == 2
+        assert safety.rollback_count == 1
+        summary = safety.summary()
+        assert summary["regression_rounds"] == 1 and summary["win_rounds"] == 2
+
+    def test_zero_round_runs(self):
+        safety = SafetyReport.from_reports(
+            self.report_with("MAB", ()), self.report_with("NoIndex", ())
+        )
+        assert safety.n_rounds == 0
+        assert safety.total_regret_seconds == 0.0
+        assert safety.worst_round_regression_ratio == 1.0
+        assert safety.regression_rounds == []
+        assert safety.win_count == 0 and safety.rollback_count == 0
+
+    def test_never_regressing_tuner_has_empty_regression_list(self):
+        baseline = self.report_with("NoIndex", (10.0, 10.0, 10.0))
+        candidate = self.report_with("MAB", (8.0, 5.0, 10.0))
+        safety = SafetyReport.from_reports(candidate, baseline)
+        assert safety.regression_rounds == []
+        assert safety.worst_round_regression_ratio >= 1.0
+
+    def test_zero_cost_candidate_round_is_degenerate_win(self):
+        baseline = self.report_with("NoIndex", (10.0, 0.0))
+        candidate = self.report_with("MAB", (0.0, 0.0))
+        safety = SafetyReport.from_reports(candidate, baseline)
+        assert safety.per_round_speedup[0] == float("inf")
+        assert safety.per_round_speedup[1] == 1.0
+        assert safety.regression_rounds == []
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="different lengths"):
+            SafetyReport.from_reports(
+                self.report_with("MAB", (1.0,)), self.report_with("NoIndex", (1.0, 2.0))
+            )
+
+    def test_missing_baseline_raises_listed_names_error(self):
+        runs = {
+            "MAB": self.report_with("MAB", (1.0,)),
+            "DDQN": self.report_with("DDQN", (2.0,)),
+        }
+        with pytest.raises(MissingBaselineError) as excinfo:
+            safety_reports(runs)
+        message = str(excinfo.value)
+        assert "NoIndex" in message and "DDQN" in message and "MAB" in message
+        # Registry style: catchable as KeyError or ValueError alike.
+        assert isinstance(excinfo.value, KeyError)
+        assert isinstance(excinfo.value, ValueError)
+
+    def test_safety_reports_pairs_every_non_baseline_run(self):
+        runs = {
+            "NoIndex": self.report_with("NoIndex", (10.0, 10.0)),
+            "MAB": self.report_with("MAB", (8.0, 9.0)),
+            "DDQN": self.report_with("DDQN", (30.0, 40.0)),
+        }
+        safety = safety_reports(runs)
+        assert sorted(safety) == ["DDQN", "MAB"]
+        assert all(s.baseline_name == "NoIndex" for s in safety.values())
+
+    def test_rank_by_safety_orders_worst_round_first(self):
+        baseline = self.report_with("NoIndex", (10.0, 10.0, 10.0))
+        runs = {
+            "NoIndex": baseline,
+            # one catastrophic round (0.1x) but only one regression
+            "Spiky": self.report_with("Spiky", (100.0, 8.0, 8.0)),
+            # two mild regressions (0.9x) and no catastrophe
+            "Steady": self.report_with("Steady", (11.0, 11.0, 8.0)),
+        }
+        ranking = rank_by_safety(safety_reports(runs))
+        assert ranking == ["Steady", "Spiky"]
 
 
 class TestReporting:
