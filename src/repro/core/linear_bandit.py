@@ -32,6 +32,8 @@ from typing import Sequence
 
 import numpy as np
 
+from . import scoring as _scoring
+
 
 class LinearScorer:
     """A frozen, read-only scoring snapshot of a :class:`C2UCB` learner.
@@ -58,12 +60,11 @@ class LinearScorer:
 
     def expected_rewards(self, contexts: np.ndarray) -> np.ndarray:
         """Point estimates ``theta' x_i`` for each context row."""
-        return contexts @ self.theta
+        return _scoring.expected_rewards(self.theta, contexts)
 
     def exploration_bonus(self, contexts: np.ndarray) -> np.ndarray:
         """Confidence widths ``sqrt(x' V^{-1} x)`` for each context row."""
-        widths = np.einsum("ij,ij->i", contexts @ self.v_inverse, contexts)
-        return np.sqrt(np.maximum(widths, 0.0))
+        return _scoring.exploration_bonus(self.v_inverse, contexts)
 
     def upper_confidence_scores(self, contexts: np.ndarray, alpha: float) -> np.ndarray:
         """UCB scores under the frozen snapshot.
@@ -90,7 +91,7 @@ class LinearScorer:
             raise ValueError(
                 f"contexts must have shape (k, {self.dimension}), got {contexts.shape}"
             )
-        return self.expected_rewards(contexts) + alpha * self.exploration_bonus(contexts)
+        return _scoring.ucb_scores(self.theta, self.v_inverse, contexts, alpha)
 
 
 def batch_upper_confidence_scores(
@@ -169,7 +170,9 @@ def batch_upper_confidence_scores(
         widths = np.einsum("tkd,tkd->tk", projected, stacked)
         bonuses = np.sqrt(np.maximum(widths, 0.0))
         for row, i in enumerate(indices):
-            expected = blocks[i] @ scorers[i].theta
+            # Same GEMV the packed core's kernel performs — folding the
+            # thetas into one GEMM would change the accumulation order.
+            expected = _scoring.expected_rewards(scorers[i].theta, blocks[i])
             results[i] = expected + alphas[i] * bonuses[row]
     return [result for result in results if result is not None]
 
@@ -256,21 +259,19 @@ class C2UCB:
     def expected_rewards(self, contexts: np.ndarray) -> np.ndarray:
         """Point estimates ``theta' x_i`` without the exploration boost."""
         contexts = self._validate_contexts(contexts)
-        return contexts @ self.theta()
+        return _scoring.expected_rewards(self.theta(), contexts)
 
     def exploration_bonus(self, contexts: np.ndarray) -> np.ndarray:
         """The per-arm confidence width ``sqrt(x' V^{-1} x)``."""
         contexts = self._validate_contexts(contexts)
-        # (X @ V^{-1}) * X summed by row == diag(X V^{-1} X'), via BLAS.
-        widths = np.einsum("ij,ij->i", contexts @ self._inverse(), contexts)
-        return np.sqrt(np.maximum(widths, 0.0))
+        return _scoring.exploration_bonus(self._inverse(), contexts)
 
     def upper_confidence_scores(self, contexts: np.ndarray, alpha: float) -> np.ndarray:
         """UCB scores (line 8 of Algorithm 1)."""
         if alpha < 0:
             raise ValueError("alpha must be non-negative")
         contexts = self._validate_contexts(contexts)
-        return self.expected_rewards(contexts) + alpha * self.exploration_bonus(contexts)
+        return _scoring.ucb_scores(self.theta(), self._inverse(), contexts, alpha)
 
     def scorer(self) -> "LinearScorer":
         """Freeze the current ``theta`` and ``V⁻¹`` into a :class:`LinearScorer`.

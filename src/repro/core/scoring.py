@@ -1,0 +1,587 @@
+"""The packed scoring core: flat arrays, blocked GEMMs, shared-memory workers.
+
+This module is the single home of the C²UCB scoring math and of the
+machinery that makes it fast at pool scale:
+
+* **kernels** — :func:`expected_rewards`, :func:`exploration_bonus` and
+  :func:`ucb_scores` are the only implementations of the paper's
+  ``theta' x + alpha * sqrt(x' V^{-1} x)`` score.  The live learner
+  (:class:`~repro.core.linear_bandit.C2UCB`), its frozen
+  :class:`~repro.core.linear_bandit.LinearScorer` snapshots and the fleet's
+  batched pass all route through them, so "bit-identical by construction"
+  is a property of one function, not a promise kept in four places;
+* **packing** — :func:`pack_arm_pool` lays the arm pool's static context
+  features out as one C-contiguous ``(n_arms, dimension)`` matrix plus two
+  numpy structured arrays (per-arm metadata, per-shard row ranges).  Shard
+  boundaries become row slices of the packed matrix, so the per-shard
+  python scoring loops collapse into one blocked GEMM
+  (:func:`score_packed`);
+* **process workers** — with ``ScoringConfig.workers > 1`` the packed
+  arrays (contexts, θ, V⁻¹, the scores output) are published as
+  :mod:`multiprocessing.shared_memory` buffers that worker processes attach
+  zero-copy — no fork-pickling of specs or context matrices.  Buffers are
+  unlinked in a ``finally`` block even when a worker dies mid-round
+  (:class:`~concurrent.futures.process.BrokenProcessPool` falls back to the
+  serial path), so no ``/dev/shm`` residue survives a crash;
+* **the config surface** — :class:`ScoringConfig` is the one spelling of
+  scoring behaviour, accepted by ``MabConfig(scoring=...)``,
+  ``SimulationOptions(scoring=...)`` and ``FleetConfig(scoring=...)``.  The
+  legacy knobs (``shard_by``/``shard_top_k``/``shard_workers``/
+  ``batch_scoring``) live on as ``DeprecationWarning`` shims that normalise
+  into it.
+
+Determinism contract: every block of the packed matrix is scored by the
+exact 2-D operations the legacy per-shard pass used (same shapes, same
+C-contiguous layouts), so packed scores are bit-identical to the per-shard
+scores at any worker count — block boundaries depend only on the pool, never
+on scheduling.  A single-block pool reduces to the monolithic pass
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+__all__ = [
+    "ARM_META_DTYPE",
+    "BLOCK_RANGE_DTYPE",
+    "ConfigurableScoring",
+    "PackedPool",
+    "PackedScoreResult",
+    "SCORING_STRATEGIES",
+    "ScoringConfig",
+    "ScoringNotSupportedError",
+    "ScoringStats",
+    "UnknownScoringStrategyError",
+    "exploration_bonus",
+    "expected_rewards",
+    "pack_arm_pool",
+    "score_packed",
+    "ucb_scores",
+]
+
+#: Valid :attr:`ScoringConfig.strategy` spellings.  ``"monolithic"`` scores
+#: the whole pool as one block; ``"table"``/``"hash"`` partition it with
+#: :func:`repro.core.arms.shard_arms` first (one block per shard).
+SCORING_STRATEGIES = ("monolithic", "table", "hash")
+
+
+class UnknownScoringStrategyError(KeyError, ValueError):
+    """Raised for a scoring strategy nobody defined.
+
+    Subclasses both :class:`KeyError` and :class:`ValueError`, mirroring the
+    registry errors (:class:`~repro.api.UnknownTunerError`), so both
+    historical ``except`` spellings keep working.
+    """
+
+    # KeyError.__str__ reprs the message (extra quotes); render it plainly.
+    __str__ = Exception.__str__
+
+
+class ScoringNotSupportedError(TypeError, ValueError):
+    """Raised when scoring options are given to a tuner that cannot honour them.
+
+    Only pool-scoring tuners (the MAB) expose ``configure_scoring``; handing
+    ``SimulationOptions(scoring=...)`` to NoIndex/PDTool/DDQN is a caller
+    error, not something to ignore silently.
+    """
+
+
+@dataclass(frozen=True)
+class ScoringConfig:
+    """The single spelling of arm-pool scoring behaviour.
+
+    Frozen and picklable: it rides inside ``MabConfig``,
+    ``SimulationOptions`` and ``FleetConfig`` across
+    ``run_competition(workers>1)`` process boundaries.
+
+    Attributes:
+        strategy: ``"monolithic"`` (one block, the default), ``"table"``
+            (one block per indexed table, cross-table arms hash-bucketed) or
+            ``"hash"`` (``n_hash_shards`` stable-hash buckets).  Partitioning
+            affects *scoring only* — the C²UCB state stays global.
+        top_k: Candidates each block forwards to the knapsack oracle (its
+            local top-k by score, plus the per-group Pareto frontiers that
+            make the merge selection-preserving); ``None`` forwards every
+            arm.  Ignored by the monolithic strategy.
+        workers: Process count for the blocked scoring pass: ``1`` scores
+            blocks serially (default), ``> 1`` fans them out over a process
+            pool attached to the packed pool's shared-memory buffers, ``0``
+            uses one process per CPU.  Scores are bit-identical at any
+            worker count (block boundaries never depend on scheduling).
+        batch: Whether a :class:`~repro.fleet.TuningFleet` may fuse this
+            tuner's rounds into its vectorized cross-tenant scoring pass.
+        n_hash_shards: Bucket count for ``"hash"`` partitioning (and the
+            cross-table fallback of ``"table"``).
+
+    Raises:
+        UnknownScoringStrategyError: For a strategy outside
+            :data:`SCORING_STRATEGIES`.
+        ValueError: For out-of-range ``top_k``/``workers``/``n_hash_shards``.
+    """
+
+    strategy: str = "monolithic"
+    top_k: int | None = 16
+    workers: int = 1
+    batch: bool = True
+    n_hash_shards: int = 8
+
+    def __post_init__(self) -> None:
+        strategy = self.strategy.strip().lower() if isinstance(self.strategy, str) else self.strategy
+        if strategy not in SCORING_STRATEGIES:
+            raise UnknownScoringStrategyError(
+                f"unknown scoring strategy {self.strategy!r}; valid strategies: "
+                f"{', '.join(SCORING_STRATEGIES)}"
+            )
+        object.__setattr__(self, "strategy", strategy)
+        if self.top_k is not None and self.top_k < 1:
+            raise ValueError("top_k must be at least 1 (or None)")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 = one per CPU)")
+        if self.n_hash_shards < 1:
+            raise ValueError("n_hash_shards must be at least 1")
+
+    @property
+    def shard_by(self) -> str | None:
+        """The legacy ``shard_by`` equivalent of :attr:`strategy`."""
+        return None if self.strategy == "monolithic" else self.strategy
+
+    def resolved_workers(self, n_blocks: int) -> int:
+        """Actual process count for a pool of ``n_blocks`` blocks."""
+        workers = self.workers
+        if workers == 0:
+            workers = os.cpu_count() or 1
+        return max(1, min(workers, n_blocks))
+
+
+@runtime_checkable
+class ConfigurableScoring(Protocol):
+    """A tuner whose arm-pool scoring pass accepts a :class:`ScoringConfig`."""
+
+    def configure_scoring(self, scoring: ScoringConfig) -> None: ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True)
+class ScoringStats:
+    """Diagnostics of one packed scoring pass (``MabTuner.last_scoring_stats``)."""
+
+    #: Strategy the pass ran under (``"table"`` or ``"hash"``).
+    strategy: str
+    #: Arms in the round's pool before partitioning.
+    n_arms: int
+    #: Non-empty blocks (shards) the packed pool split into.
+    n_shards: int
+    #: Rows of the largest block — the critical path of a parallel pass.
+    max_shard_size: int
+    #: Merged survivors handed to the knapsack oracle after the top-k cut.
+    n_candidates: int
+    #: Worker processes the pass was configured to use.
+    workers: int
+    #: Whether the shared-memory process pool actually scored the pass
+    #: (``False`` for serial passes and for the crash-recovery fallback).
+    used_processes: bool
+    #: Bytes published as shared-memory buffers (0 for serial passes).
+    shared_memory_bytes: int
+
+
+# --------------------------------------------------------------------- #
+# kernels — the single implementation of the C²UCB score
+# --------------------------------------------------------------------- #
+def expected_rewards(theta: np.ndarray, contexts: np.ndarray) -> np.ndarray:
+    """Point estimates ``theta' x_i`` for each context row."""
+    return contexts @ theta
+
+
+def exploration_bonus(v_inverse: np.ndarray, contexts: np.ndarray) -> np.ndarray:
+    """Confidence widths ``sqrt(x' V^{-1} x)`` for each context row."""
+    # (X @ V^{-1}) * X summed by row == diag(X V^{-1} X'), via BLAS.
+    widths = np.einsum("ij,ij->i", contexts @ v_inverse, contexts)
+    return np.sqrt(np.maximum(widths, 0.0))
+
+
+def ucb_scores(
+    theta: np.ndarray,
+    v_inverse: np.ndarray,
+    contexts: np.ndarray,
+    alpha: float,
+) -> np.ndarray:
+    """UCB scores ``theta' x + alpha * sqrt(x' V^{-1} x)`` per context row.
+
+    The exact operation sequence every scoring surface performs — changing
+    it changes the low-order bits of every recommendation in the repo.
+    """
+    return expected_rewards(theta, contexts) + alpha * exploration_bonus(
+        v_inverse, contexts
+    )
+
+
+# --------------------------------------------------------------------- #
+# the packed pool
+# --------------------------------------------------------------------- #
+#: Per-arm metadata packed alongside the context matrix (one record per row,
+#: same order): the arm's position in the original pool order and its
+#: hypothetical index size.
+ARM_META_DTYPE = np.dtype([("position", np.int64), ("size_bytes", np.int64)])
+
+#: Per-block row ranges of the packed matrix (``[start, stop)`` slices).
+BLOCK_RANGE_DTYPE = np.dtype([("start", np.int64), ("stop", np.int64)])
+
+
+@dataclass
+class PackedPool:
+    """One arm pool packed into flat arrays for blocked scoring.
+
+    ``contexts`` is the pool's context matrix in *block-grouped* order (all
+    of block 0's rows, then block 1's, ...), C-contiguous so every block is
+    a zero-copy row slice with the same memory layout a standalone per-shard
+    matrix would have — the property that keeps blocked scores bit-identical
+    to the legacy per-shard pass.  ``meta`` and ``blocks`` are numpy
+    structured arrays (see :data:`ARM_META_DTYPE`,
+    :data:`BLOCK_RANGE_DTYPE`); ``block_keys`` carries the shard keys for
+    diagnostics.
+    """
+
+    contexts: np.ndarray
+    meta: np.ndarray
+    blocks: np.ndarray
+    block_keys: tuple[str, ...]
+
+    @property
+    def n_arms(self) -> int:
+        return int(self.contexts.shape[0])
+
+    @property
+    def dimension(self) -> int:
+        return int(self.contexts.shape[1])
+
+    @property
+    def n_blocks(self) -> int:
+        return int(len(self.blocks))
+
+    @property
+    def max_block_size(self) -> int:
+        if self.n_blocks == 0:
+            return 0
+        return int((self.blocks["stop"] - self.blocks["start"]).max())
+
+    def block_slices(self) -> list[tuple[int, int]]:
+        """The ``[start, stop)`` row ranges as plain ints (picklable)."""
+        return [(int(start), int(stop)) for start, stop in self.blocks]
+
+
+def pack_arm_pool(
+    context_blocks: Sequence[np.ndarray],
+    positions: Sequence[Sequence[int]],
+    size_bytes: Sequence[Sequence[int]],
+    keys: Sequence[str],
+) -> PackedPool:
+    """Pack per-shard context blocks into one flat, sliceable pool.
+
+    Args:
+        context_blocks: One ``(k_b, dimension)`` context matrix per block
+            (shard), in merge order.
+        positions: Per block, each row's position in the original pool order.
+        size_bytes: Per block, each row's hypothetical index size.
+        keys: One shard key per block (diagnostics only).
+
+    Returns:
+        A :class:`PackedPool` whose ``contexts[start:stop]`` slices are
+        byte-compatible with the original per-shard matrices.
+    """
+    if not (len(context_blocks) == len(positions) == len(size_bytes) == len(keys)):
+        raise ValueError("context_blocks, positions, size_bytes and keys must align")
+    if not context_blocks:
+        return PackedPool(
+            contexts=np.empty((0, 0), dtype=float),
+            meta=np.empty(0, dtype=ARM_META_DTYPE),
+            blocks=np.empty(0, dtype=BLOCK_RANGE_DTYPE),
+            block_keys=(),
+        )
+    # Normalised to C-contiguous float64: exactly the dtype LinearScorer's
+    # own ``asarray(dtype=float)`` conversion scores, for any input dtype
+    # (widening is exact), and the layout the shared-memory path publishes —
+    # so serial, process-pool and monolithic scores share one numeric path.
+    contexts = np.ascontiguousarray(np.vstack(context_blocks), dtype=np.float64)
+    n_arms = contexts.shape[0]
+    meta = np.empty(n_arms, dtype=ARM_META_DTYPE)
+    blocks = np.empty(len(context_blocks), dtype=BLOCK_RANGE_DTYPE)
+    row = 0
+    for index, (block, block_positions, block_sizes) in enumerate(
+        zip(context_blocks, positions, size_bytes)
+    ):
+        stop = row + len(block)
+        if not (len(block) == len(block_positions) == len(block_sizes)):
+            raise ValueError(f"block {index}: rows, positions and sizes must align")
+        blocks[index] = (row, stop)
+        meta["position"][row:stop] = np.asarray(block_positions, dtype=np.int64)
+        meta["size_bytes"][row:stop] = np.asarray(block_sizes, dtype=np.int64)
+        row = stop
+    return PackedPool(
+        contexts=contexts, meta=meta, blocks=blocks, block_keys=tuple(keys)
+    )
+
+
+# --------------------------------------------------------------------- #
+# blocked scoring (serial and shared-memory process pool)
+# --------------------------------------------------------------------- #
+@dataclass
+class PackedScoreResult:
+    """Scores of one packed pass plus how it was computed."""
+
+    #: Scores in packed row order (one per ``PackedPool`` row).
+    scores: np.ndarray
+    #: Whether the shared-memory process pool computed them.
+    used_processes: bool
+    #: Bytes published as shared-memory buffers (0 when serial).
+    shared_memory_bytes: int
+
+
+def _score_blocks_serial(
+    pool: PackedPool,
+    theta: np.ndarray,
+    v_inverse: np.ndarray,
+    alpha: float,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """One blocked pass over the packed matrix on the calling thread."""
+    scores = np.empty(pool.n_arms, dtype=float) if out is None else out
+    for start, stop in pool.block_slices():
+        scores[start:stop] = ucb_scores(
+            theta, v_inverse, pool.contexts[start:stop], alpha
+        )
+    return scores
+
+
+def score_packed(
+    pool: PackedPool,
+    theta: np.ndarray,
+    v_inverse: np.ndarray,
+    alpha: float,
+    workers: int = 1,
+) -> PackedScoreResult:
+    """Score every row of a packed pool with a blocked UCB pass.
+
+    Each block is scored by the same 2-D kernel call (:func:`ucb_scores`)
+    regardless of worker count or scheduling, so the result is bit-identical
+    for every ``workers`` value; ``workers > 1`` publishes the packed
+    arrays as shared-memory buffers and fans the blocks out over a process
+    pool (zero-copy attach, guaranteed unlink).  A worker crash
+    (:class:`~concurrent.futures.process.BrokenProcessPool`) or an
+    environment without shared memory degrades to the serial pass — same
+    scores, no residue.
+    """
+    if pool.n_arms == 0:
+        return PackedScoreResult(
+            scores=np.empty(0, dtype=float), used_processes=False, shared_memory_bytes=0
+        )
+    if workers > 1 and pool.n_blocks > 1:
+        result = _score_blocks_processes(pool, theta, v_inverse, alpha, workers)
+        if result is not None:
+            return result
+    return PackedScoreResult(
+        scores=_score_blocks_serial(pool, theta, v_inverse, alpha),
+        used_processes=False,
+        shared_memory_bytes=0,
+    )
+
+
+#: Shared-memory segment names: recognisable (tests scan /dev/shm for the
+#: prefix) and unique per (process, pass) without reading clocks or RNGs.
+_SHM_PREFIX = "reproscore"
+_SHM_COUNTER = itertools.count()
+
+#: Lazily created, reused process pools keyed by worker count.  Reuse
+#: amortises the fork cost across rounds; a BrokenProcessPool discards the
+#: pool so the next pass starts fresh.
+_EXECUTORS: dict[int, ProcessPoolExecutor] = {}
+
+
+def _shutdown_executors() -> None:
+    for executor in _EXECUTORS.values():
+        executor.shutdown(wait=False, cancel_futures=True)
+    _EXECUTORS.clear()
+
+
+atexit.register(_shutdown_executors)
+
+
+def _executor(workers: int) -> ProcessPoolExecutor:
+    executor = _EXECUTORS.get(workers)
+    if executor is None:
+        executor = ProcessPoolExecutor(max_workers=workers)
+        _EXECUTORS[workers] = executor
+    return executor
+
+
+def _discard_executor(workers: int) -> None:
+    executor = _EXECUTORS.pop(workers, None)
+    if executor is not None:
+        executor.shutdown(wait=False, cancel_futures=True)
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without taking over its cleanup.
+
+    The creating process owns the unlink; 3.13+ has ``track=False`` for
+    exactly this.  On 3.10–3.12 a plain attach re-registers the segment, but
+    the fork-started workers share the parent's resource tracker, so the
+    re-registration is an idempotent set-add in the *same* cache the
+    parent's ``unlink`` unregisters from — explicitly unregistering here
+    would instead strip the parent's registration and make that unlink
+    KeyError inside the tracker.
+    """
+    if sys.version_info >= (3, 13):
+        return shared_memory.SharedMemory(name=name, track=False)
+    return shared_memory.SharedMemory(name=name)
+
+
+def _score_block_worker(
+    manifest: dict[str, tuple[str, tuple[int, ...]]],
+    alpha: float,
+    block_slices: tuple[tuple[int, int], ...],
+) -> None:
+    """Worker entry point: attach the shared buffers, score assigned blocks.
+
+    ``manifest`` maps logical names (``contexts``/``theta``/``v_inverse``/
+    ``scores``) to ``(segment_name, shape)`` pairs; every array is float64.
+    Workers only *read* the frozen snapshot arrays and write disjoint row
+    ranges of the scores output, so any scheduling produces identical bytes.
+    """
+    segments: list[shared_memory.SharedMemory] = []
+    try:
+        views: dict[str, np.ndarray] = {}
+        for logical, (segment_name, shape) in manifest.items():
+            segment = _attach(segment_name)
+            segments.append(segment)
+            views[logical] = np.ndarray(shape, dtype=np.float64, buffer=segment.buf)
+        theta = views["theta"]
+        v_inverse = views["v_inverse"]
+        contexts = views["contexts"]
+        scores = views["scores"]
+        for start, stop in block_slices:
+            scores[start:stop] = ucb_scores(
+                theta, v_inverse, contexts[start:stop], alpha
+            )
+        # Drop the array views before closing: an mmap with live exports
+        # cannot be closed.
+        del views, theta, v_inverse, contexts, scores
+    finally:
+        for segment in segments:
+            segment.close()
+
+
+def _partition_blocks(
+    block_slices: list[tuple[int, int]], workers: int
+) -> list[tuple[tuple[int, int], ...]]:
+    """Split the block list into ``workers`` contiguous runs balanced by rows.
+
+    Greedy longest-processing-time assignment would reorder blocks; plain
+    contiguous runs keep the mapping obvious and deterministic.  The split
+    affects only *which process* scores a block, never how — scores are
+    bit-identical for any partition.
+    """
+    total_rows = sum(stop - start for start, stop in block_slices)
+    target = max(1, -(-total_rows // workers))  # ceil division
+    runs: list[tuple[tuple[int, int], ...]] = []
+    current: list[tuple[int, int]] = []
+    current_rows = 0
+    for block in block_slices:
+        current.append(block)
+        current_rows += block[1] - block[0]
+        if current_rows >= target and len(runs) < workers - 1:
+            runs.append(tuple(current))
+            current = []
+            current_rows = 0
+    if current:
+        runs.append(tuple(current))
+    return runs
+
+
+def _create_segment(data: np.ndarray) -> shared_memory.SharedMemory:
+    """Publish one float64 array as a fresh shared-memory segment."""
+    array = np.ascontiguousarray(data, dtype=np.float64)
+    name = f"{_SHM_PREFIX}_{os.getpid()}_{next(_SHM_COUNTER)}"
+    segment = shared_memory.SharedMemory(name=name, create=True, size=max(1, array.nbytes))
+    view = np.ndarray(array.shape, dtype=np.float64, buffer=segment.buf)
+    view[...] = array
+    del view
+    return segment
+
+
+def _score_blocks_processes(
+    pool: PackedPool,
+    theta: np.ndarray,
+    v_inverse: np.ndarray,
+    alpha: float,
+    workers: int,
+) -> PackedScoreResult | None:
+    """Fan the blocked pass out over the shared-memory process pool.
+
+    Returns ``None`` when the environment cannot run it (no shared memory,
+    a worker died mid-pass) — the caller falls back to the serial pass,
+    which produces identical scores.  The segments are unlinked in the
+    ``finally`` block on *every* path, including the crash one, so no
+    ``/dev/shm`` residue can survive.
+    """
+    segments: list[shared_memory.SharedMemory] = []
+    try:
+        try:
+            contexts_seg = _create_segment(pool.contexts)
+            segments.append(contexts_seg)
+            theta_seg = _create_segment(theta)
+            segments.append(theta_seg)
+            v_inverse_seg = _create_segment(v_inverse)
+            segments.append(v_inverse_seg)
+            scores_seg = shared_memory.SharedMemory(
+                name=f"{_SHM_PREFIX}_{os.getpid()}_{next(_SHM_COUNTER)}",
+                create=True,
+                size=max(1, pool.n_arms * 8),
+            )
+            segments.append(scores_seg)
+        except OSError:
+            return None
+        manifest = {
+            "contexts": (contexts_seg.name, (pool.n_arms, pool.dimension)),
+            "theta": (theta_seg.name, (int(len(theta)),)),
+            "v_inverse": (v_inverse_seg.name, (int(len(theta)), int(len(theta)))),
+            "scores": (scores_seg.name, (pool.n_arms,)),
+        }
+        runs = _partition_blocks(pool.block_slices(), workers)
+        shm_bytes = sum(segment.size for segment in segments)
+        try:
+            executor = _executor(workers)
+            futures = [
+                executor.submit(_score_block_worker, manifest, alpha, run)
+                for run in runs
+            ]
+            for future in futures:
+                future.result()
+        except (BrokenProcessPool, OSError, RuntimeError):
+            # A worker died (or the pool could not start): discard the pool
+            # so the next pass forks fresh, and let the caller re-score
+            # serially — same bytes, no residue (the finally below unlinks).
+            _discard_executor(workers)
+            return None
+        scores_view = np.ndarray(pool.n_arms, dtype=np.float64, buffer=scores_seg.buf)
+        scores = np.array(scores_view, dtype=float, copy=True)
+        del scores_view
+        return PackedScoreResult(
+            scores=scores, used_processes=True, shared_memory_bytes=shm_bytes
+        )
+    finally:
+        for segment in segments:
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - double-unlink race
+                pass

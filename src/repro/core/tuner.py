@@ -21,9 +21,7 @@ execution statistics, which is the paper's central design decision.
 from __future__ import annotations
 
 import dataclasses
-import os
 import time
-from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
@@ -33,13 +31,14 @@ from repro.engine.execution import ExecutionResult
 from repro.engine.query import Query
 from repro.interface import Recommendation, Tuner
 
-from .arms import Arm, ArmGenerator, ArmShard, shard_arms
+from .arms import Arm, ArmGenerator, shard_arms
 from .config import MabConfig
 from .context import ContextBuilder
 from .linear_bandit import C2UCB
 from .oracle import GreedyOracle, ScoredArm, merge_shard_candidates
 from .query_store import QueryStore
 from .rewards import compute_round_rewards
+from .scoring import ScoringConfig, ScoringStats, pack_arm_pool, score_packed
 
 
 #: Sentinel distinguishing "argument omitted" from an explicit ``None``.
@@ -74,7 +73,12 @@ class PoolRound:
 
 @dataclasses.dataclass(frozen=True)
 class ShardScoreStats:
-    """Diagnostics of one sharded scoring pass (``MabTuner.last_shard_stats``)."""
+    """Deprecated view of :class:`~repro.core.scoring.ScoringStats`.
+
+    The packed core's ``MabTuner.last_scoring_stats`` supersedes this; the
+    ``MabTuner.last_shard_stats`` property keeps deriving instances of this
+    shape for callers that still read the old diagnostics.
+    """
 
     #: Arms in the round's pool before sharding.
     n_arms: int
@@ -115,9 +119,9 @@ class MabTuner(Tuner):
         #: Diagnostics for reporting and tests.
         self.shift_events: list[int] = []
         self.rounds_recommended = 0
-        #: Diagnostics of the latest sharded scoring pass (``None`` while the
+        #: Diagnostics of the latest packed scoring pass (``None`` while the
         #: pool is scored monolithically or before the first recommendation).
-        self.last_shard_stats: ShardScoreStats | None = None
+        self.last_scoring_stats: ScoringStats | None = None
 
     # ------------------------------------------------------------------ #
     # Tuner interface
@@ -146,11 +150,11 @@ class MabTuner(Tuner):
         pool = self.begin_round(round_number)
         if pool.arms is None:
             return self.complete_round(pool, None)
-        if self.config.shard_by is None:
+        if self.scoring.strategy == "monolithic":
             contexts = self.pool_contexts(pool)
             scores = self.bandit.upper_confidence_scores(contexts, pool.alpha)
             return self.complete_round(pool, scores)
-        candidates, context_rows = self._score_sharded(
+        candidates, context_rows = self._score_packed(
             pool.arms, pool.queries, pool.alpha
         )
         return self._finish_with_candidates(pool, candidates, context_rows)
@@ -159,13 +163,20 @@ class MabTuner(Tuner):
     # the pool-scoring protocol (recommend split open for the fleet)
     # ------------------------------------------------------------------ #
     @property
+    def scoring(self) -> ScoringConfig:
+        """The tuner's scoring configuration (never ``None`` on a live tuner)."""
+        scoring = self.config.scoring
+        assert scoring is not None  # MabConfig.__post_init__ normalises
+        return scoring
+
+    @property
     def supports_batched_scoring(self) -> bool:
         """Whether a fleet may score this tuner through the pool protocol.
 
-        True for the monolithic scoring mode; a tuner configured for sharded
-        scoring keeps its own (already parallel) per-shard pass.
+        True for the monolithic scoring mode; a tuner configured for a
+        partitioned strategy keeps its own (already parallel) packed pass.
         """
-        return self.config.shard_by is None
+        return self.scoring.strategy == "monolithic"
 
     def begin_round(self, round_number: int) -> PoolRound:
         """Open a recommendation round: QoI window, arm refresh, alpha.
@@ -248,7 +259,7 @@ class MabTuner(Tuner):
         context_rows = {
             arm.index_id: pool.contexts[i] for i, arm in enumerate(pool.arms)
         }
-        self.last_shard_stats = None
+        self.last_scoring_stats = None
         return self._finish_with_candidates(pool, candidates, context_rows)
 
     def _finish_with_candidates(
@@ -270,84 +281,125 @@ class MabTuner(Tuner):
             recommendation_seconds=time.perf_counter() - pool.started,
         )
 
-    def _score_sharded(
+    def _score_packed(
         self,
         arms: list[Arm],
         queries: list[Query],
         alpha: float,
     ) -> tuple[list[ScoredArm], dict[str, np.ndarray]]:
-        """Score the arm pool shard by shard and merge the local winners.
+        """Score the arm pool through the packed core and merge the winners.
 
         The pool is partitioned with :func:`~repro.core.arms.shard_arms`
-        (strategy :attr:`MabConfig.shard_by`); every shard builds its own
-        slice of the context matrix and is scored independently against one
-        frozen :class:`~repro.core.linear_bandit.LinearScorer` snapshot, so
-        the per-shard passes share no mutable state and are ready to fan out
-        across threads.  Only each shard's top
-        :attr:`MabConfig.shard_top_k` candidates reach the knapsack oracle.
+        (strategy ``scoring.strategy``), each shard's context slice is built
+        once, and the slices are packed into one flat matrix
+        (:func:`~repro.core.scoring.pack_arm_pool`) whose shard boundaries
+        are row ranges — :func:`~repro.core.scoring.score_packed` then runs
+        one blocked GEMM pass against the frozen
+        :class:`~repro.core.linear_bandit.LinearScorer` snapshot, serially or
+        over the shared-memory process pool (``scoring.workers``).  Only each
+        shard's top ``scoring.top_k`` candidates reach the knapsack oracle.
 
         Determinism: the tie-break jitter is drawn once for the whole pool
-        (same rng consumption as the monolithic pass) and sliced per shard,
-        and the merged survivors are restored to pool order — so at matched
-        seeds the sharded pass selects the same configuration as the
-        monolithic one whenever the top-k cut keeps the oracle's picks
-        (guaranteed for ``shard_top_k=None``).
+        (same rng consumption as the monolithic pass) and sliced per shard;
+        each packed block is byte-compatible with the standalone per-shard
+        matrix, so its scores are bit-identical to the historical per-shard
+        pass at any worker count; and the merged survivors are restored to
+        pool order — so at matched seeds the packed pass selects the same
+        configuration as the monolithic one whenever the top-k cut keeps the
+        oracle's picks (guaranteed for ``top_k=None``).
         """
-        shards = shard_arms(arms, self.config.shard_by, self.config.n_hash_shards)
+        scoring = self.scoring
+        shards = shard_arms(arms, scoring.shard_by, scoring.n_hash_shards)
         predicate_columns = self.context_builder.predicate_columns(queries)
         jitter = self.bandit.tie_break(len(arms))
         scorer = self.bandit.scorer()
 
-        def score_shard(shard: "ArmShard") -> list[ScoredArm]:
-            contexts = self.context_builder.build_matrix(
-                shard.arms,
-                queries,
-                self.database,
-                predicate_columns=predicate_columns,
+        context_blocks: list[np.ndarray] = []
+        positions: list[list[int]] = []
+        size_bytes: list[list[int]] = []
+        for shard in shards:
+            context_blocks.append(
+                self.context_builder.build_matrix(
+                    shard.arms,
+                    queries,
+                    self.database,
+                    predicate_columns=predicate_columns,
+                )
             )
-            scores = scorer.upper_confidence_scores(contexts, alpha)
+            positions.append(shard.positions)
+            size_bytes.append(
+                [self.database.index_size_bytes(arm.index) for arm in shard.arms]
+            )
+        packed = pack_arm_pool(
+            context_blocks,
+            positions,
+            size_bytes,
+            [shard.key for shard in shards],
+        )
+        result = score_packed(
+            packed,
+            scorer.theta,
+            scorer.v_inverse,
+            alpha,
+            workers=self._shard_worker_count(packed.n_blocks),
+        )
+
+        context_rows: dict[str, np.ndarray] = {}
+        candidates_by_shard: list[list[ScoredArm]] = []
+        for shard, contexts, (start, _stop), sizes in zip(
+            shards, context_blocks, packed.block_slices(), size_bytes
+        ):
             shard_candidates = []
             for row, (arm, position) in enumerate(zip(shard.arms, shard.positions)):
                 context_rows[arm.index_id] = contexts[row]
                 shard_candidates.append(
                     ScoredArm(
                         arm=arm,
-                        score=float(scores[row] + jitter[position]),
-                        size_bytes=self.database.index_size_bytes(arm.index),
+                        score=float(result.scores[start + row] + jitter[position]),
+                        size_bytes=sizes[row],
                         position=position,
                     )
                 )
-            return shard_candidates
+            candidates_by_shard.append(shard_candidates)
 
-        context_rows: dict[str, np.ndarray] = {}
-        workers = self._shard_worker_count(len(shards))
-        if workers > 1:
-            # The per-shard passes share only read-only state (the frozen
-            # scorer, the pre-built predicate-column map, the jitter vector);
-            # the dict/cache writes they do perform (context rows, hypothetical
-            # index sizes, key-slot caches) are idempotent single-item dict
-            # stores, so any interleaving produces identical values.  Mapping
-            # over `shards` in order keeps the merge deterministic.
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                candidates_by_shard = list(pool.map(score_shard, shards))
-        else:
-            candidates_by_shard = [score_shard(shard) for shard in shards]
-
-        merged = merge_shard_candidates(candidates_by_shard, self.config.shard_top_k)
-        self.last_shard_stats = ShardScoreStats(
+        merged = merge_shard_candidates(candidates_by_shard, scoring.top_k)
+        self.last_scoring_stats = ScoringStats(
+            strategy=scoring.strategy,
             n_arms=len(arms),
-            n_shards=len(shards),
-            max_shard_size=max((len(shard) for shard in shards), default=0),
+            n_shards=packed.n_blocks,
+            max_shard_size=packed.max_block_size,
             n_candidates=len(merged),
+            workers=scoring.workers,
+            used_processes=result.used_processes,
+            shared_memory_bytes=result.shared_memory_bytes,
         )
         return merged, context_rows
 
     def _shard_worker_count(self, n_shards: int) -> int:
-        """Worker threads the sharded pass uses (never more than shards)."""
-        workers = self.config.shard_workers
-        if workers == 0:
-            workers = os.cpu_count() or 1
-        return max(1, min(workers, n_shards))
+        """Worker processes the packed pass uses (never more than blocks)."""
+        return self.scoring.resolved_workers(n_shards)
+
+    def configure_scoring(self, scoring: ScoringConfig) -> None:
+        """Install a scoring configuration on the live tuner.
+
+        The single non-deprecated way to change how the arm pool is scored;
+        :class:`~repro.api.session.TuningSession` routes
+        ``SimulationOptions(scoring=...)`` through this method (the tuner
+        thereby satisfies the
+        :class:`~repro.core.scoring.ConfigurableScoring` protocol).
+
+        Raises:
+            TypeError: If ``scoring`` is not a
+                :class:`~repro.core.scoring.ScoringConfig`.
+        """
+        if not isinstance(scoring, ScoringConfig):
+            raise TypeError(
+                f"configure_scoring expects a ScoringConfig, got {type(scoring).__name__}"
+            )
+        # replace() re-runs __post_init__ with "scoring wins" precedence, so
+        # the derived legacy properties fed back through the InitVars are
+        # ignored and the explicit ScoringConfig lands unmodified.
+        self.config = dataclasses.replace(self.config, scoring=scoring)
 
     def configure_sharding(
         self,
@@ -357,7 +409,10 @@ class MabTuner(Tuner):
         n_hash_shards: int | None = None,
         shard_workers: int | None = None,
     ) -> None:
-        """Switch the scoring pass between monolithic and sharded modes.
+        """Deprecated spelling of :meth:`configure_scoring`.
+
+        Builds a :class:`~repro.core.scoring.ScoringConfig` from the current
+        one (omitted knobs are left unchanged) and installs it.
 
         Args:
             shard_by: ``None`` (monolithic), ``"table"`` or ``"hash"``.
@@ -366,23 +421,30 @@ class MabTuner(Tuner):
                 Left unchanged when omitted.
             n_hash_shards: Bucket count for hash placement.  Left unchanged
                 when omitted.
-            shard_workers: Thread count for the per-shard scoring passes
+            shard_workers: Process count for the packed scoring pass
                 (``1`` serial, ``0`` one per CPU).  Left unchanged when
                 omitted.  Recommendations are identical at any worker count.
 
         Raises:
-            ValueError: If any value fails :class:`MabConfig` validation.
+            ValueError: If any value fails
+                :class:`~repro.core.scoring.ScoringConfig` validation.
         """
-        updates: dict[str, object] = {"shard_by": shard_by}
+        updates: dict[str, object] = {
+            "strategy": "monolithic" if shard_by is None else shard_by
+        }
+        if shard_by is not None and not isinstance(shard_by, str):
+            raise ValueError(
+                f"shard_by must be None, 'table' or 'hash', got {shard_by!r}"
+            )
         if shard_top_k is not _UNSET:
-            updates["shard_top_k"] = shard_top_k
+            updates["top_k"] = shard_top_k
         if n_hash_shards is not None:
             updates["n_hash_shards"] = n_hash_shards
         if shard_workers is not None:
-            updates["shard_workers"] = shard_workers
-        # replace() re-runs __post_init__, so invalid values are rejected
-        # before they can affect a live tuner.
-        self.config = dataclasses.replace(self.config, **updates)
+            updates["workers"] = shard_workers
+        # ScoringConfig.__post_init__ re-validates, so invalid values are
+        # rejected before they can affect a live tuner.
+        self.configure_scoring(dataclasses.replace(self.scoring, **updates))
 
     def observe(
         self,
@@ -479,7 +541,7 @@ class MabTuner(Tuner):
         self.shift_events = []
         self.rounds_recommended = 0
         self._reward_scale_seconds = 1.0
-        self.last_shard_stats = None
+        self.last_scoring_stats = None
 
     # ------------------------------------------------------------------ #
     # internals and diagnostics
@@ -505,6 +567,19 @@ class MabTuner(Tuner):
                 known.last_generated_round = round_number
                 arms.append(known)
         return arms
+
+    @property
+    def last_shard_stats(self) -> ShardScoreStats | None:
+        """Deprecated view of :attr:`last_scoring_stats` (legacy shape)."""
+        stats = self.last_scoring_stats
+        if stats is None:
+            return None
+        return ShardScoreStats(
+            n_arms=stats.n_arms,
+            n_shards=stats.n_shards,
+            max_shard_size=stats.max_shard_size,
+            n_candidates=stats.n_candidates,
+        )
 
     @property
     def known_arm_count(self) -> int:

@@ -291,7 +291,7 @@ class TuningFleet:
             session = self._sessions[tenant_id]
             if pending.events and session.options.apply_events:
                 session.apply_events(pending.events)
-        if self.config.batch_scoring:
+        if self.config.effective_scoring().batch:
             batched = [t for t in order if self._pool_tuner(t) is not None]
         else:
             batched = []

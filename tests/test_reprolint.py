@@ -193,6 +193,25 @@ class TestRL002Picklability:
         symbols = {finding.symbol for finding in report.findings}
         assert symbols == {"TenantSpec", "FleetConfig"}
 
+    def test_scoring_config_covered(self, tmp_path):
+        # ScoringConfig rides inside MabConfig / SimulationOptions /
+        # FleetConfig across the same worker boundaries; frozen-ness is what
+        # keeps the packed-scoring snapshot picklable.
+        report = lint(
+            tmp_path,
+            {
+                "src/pkg/scoring.py": """
+                    from dataclasses import dataclass
+
+                    @dataclass
+                    class ScoringConfig:
+                        strategy: str = "monolithic"
+                    """
+            },
+        )
+        assert rules_of(report) == ["RL002"]
+        assert report.findings[0].symbol == "ScoringConfig"
+
     def test_frozen_spec_with_factory_default_clean(self, tmp_path):
         report = lint(
             tmp_path,
@@ -513,6 +532,58 @@ class TestRL005PublicSurface:
                     def __getattr__(name: str) -> object:
                         raise AttributeError(name)
                     """
+            },
+        )
+        assert report.findings == []
+
+    def test_deprecated_scoring_kwargs_flagged(self, tmp_path):
+        # The legacy shard_by / batch_scoring spellings on the config
+        # constructors normalise into ScoringConfig; new code must not use
+        # them outside the shim modules themselves.
+        report = lint(
+            tmp_path,
+            {
+                "src/repro/extra/wiring.py": """
+                    from repro.api import SimulationOptions
+                    from repro.core.config import MabConfig
+                    from repro.fleet import FleetConfig
+
+                    config = MabConfig(shard_by="table", shard_workers=2)
+                    options = SimulationOptions(shard_by="hash")
+                    fleet = FleetConfig(batch_scoring=False)
+                    """
+            },
+        )
+        assert rules_of(report) == ["RL005"] * 4
+        messages = " ".join(finding.message for finding in report.findings)
+        assert "scoring=ScoringConfig(...)" in messages
+        assert "shard_by" in messages and "batch_scoring" in messages
+
+    def test_scoring_kwargs_allowed_in_shims_tests_and_other_callees(self, tmp_path):
+        report = lint(
+            tmp_path,
+            {
+                # The shim module itself may spell the legacy knobs.
+                "src/repro/core/config.py": """
+                    def _rebuild(cls):
+                        return cls(shard_by="table")
+
+
+                    class MabConfig:
+                        pass
+                    """,
+                # Tests exercise the deprecation path on purpose.
+                "tests/test_legacy.py": """
+                    from repro.core.config import MabConfig
+
+                    config = MabConfig(shard_by="table")
+                    """,
+                # Same-named parameters on other callables are the live API.
+                "src/repro/extra/partition.py": """
+                    from repro.core.sharding import shard_arms
+
+                    shards = shard_arms([], shard_by="table")
+                    """,
             },
         )
         assert report.findings == []

@@ -1,17 +1,20 @@
 """RL004 — shard-scorer race safety (the cross-file call-graph rule).
 
-With ``shard_workers > 1`` the MAB tuner scores arm shards concurrently:
-``MabTuner._score_sharded`` snapshots the bandit into a frozen
+With ``scoring.workers > 1`` the MAB tuner scores packed arm blocks
+concurrently: ``MabTuner._score_packed`` snapshots the bandit into a frozen
 :class:`repro.core.linear_bandit.LinearScorer` (``theta``, ``v_inverse``)
-and hands the *snapshot* to every shard worker.  The parity test
-``sharded == monolithic`` only holds if nothing on a shard-scoring path
-mutates the live bandit (``_v``, ``_b``, ``_v_inverse``, ``_theta``) — a
-write from one shard would be observed by another mid-round.
+and publishes the *snapshot* into shared memory for every block worker
+(:func:`repro.core.scoring.score_packed`).  The parity contract
+``sharded == monolithic == packed`` only holds if nothing on a
+block-scoring path mutates the live bandit (``_v``, ``_b``, ``_v_inverse``,
+``_theta``) — a write from one worker would be observed by another
+mid-round.
 
-The rule walks the call graph from the shard entry points (the nested
-``score_shard`` closure and the frozen scorer's methods — **not**
-``_score_sharded`` itself, which legitimately builds the snapshot first) and
-flags every assignment to a mutable-bandit attribute reachable from them.
+The rule walks the call graph from the scoring entry points (the scoring
+kernels, the shared-memory block worker and the frozen scorer's methods —
+**not** ``_score_packed`` itself, which legitimately builds the snapshot
+first) and flags every assignment to a mutable-bandit attribute reachable
+from them.
 """
 
 from __future__ import annotations
@@ -23,12 +26,16 @@ from . import Rule, RuleContext, register_rule
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..model import Finding
 
-#: Qualified-name suffixes of the functions that run inside shard workers.
-#: ``_score_sharded`` itself is *not* an entry point: it runs on the
-#: coordinating thread and legitimately materialises the scorer snapshot
-#: (which lazily computes ``theta``) before any worker starts.
+#: Qualified-name suffixes of the functions that run inside scoring workers.
+#: ``_score_packed`` itself is *not* an entry point: it runs on the
+#: coordinating process and legitimately materialises the scorer snapshot
+#: (which lazily computes ``theta``) before any worker starts.  The
+#: ``_score_sharded.score_shard`` suffix is retained for out-of-tree
+#: shard-closure implementations of the legacy protocol.
 SHARD_ENTRY_POINTS = (
     "MabTuner._score_sharded.score_shard",
+    "scoring.ucb_scores",
+    "scoring._score_block_worker",
     "LinearScorer.upper_confidence_scores",
     "LinearScorer.expected_rewards",
     "LinearScorer.exploration_bonus",

@@ -1,6 +1,6 @@
 """RL005 — public-surface hygiene.
 
-Three checks keep the documented API surface honest:
+Four checks keep the documented API surface honest:
 
 * **examples** (``examples/``) import only the public package roots
   (``repro.api``, ``repro.harness``, ``repro.workloads``, ``repro.engine``)
@@ -9,6 +9,12 @@ Three checks keep the documented API surface honest:
 * **deprecated paths** (``repro.harness.interface``, the ``make_tuner``
   shim) are flagged in ``src/`` and ``examples/`` — ``docs/API.md``'s
   deprecations table names the replacements;
+* **deprecated scoring knobs** — the legacy
+  ``shard_by``/``shard_top_k``/``shard_workers``/``n_hash_shards``/
+  ``batch_scoring`` keyword spellings on ``MabConfig``,
+  ``SimulationOptions`` and ``FleetConfig`` are flagged in ``src/`` and
+  ``examples/`` outside the shim modules themselves — new code spells
+  scoring behaviour as ``scoring=ScoringConfig(...)``;
 * **``__all__`` discipline** in the strict-typed surface
   (``src/repro/api/*.py``, ``src/repro/fleet/*.py``,
   ``src/repro/engine/backend.py``): ``__all__`` must exist, every entry must
@@ -64,6 +70,26 @@ DEPRECATION_SHIM_FILES = frozenset(
     }
 )
 
+#: Deprecated scoring-knob keyword spellings (normalise into ScoringConfig).
+DEPRECATED_SCORING_KWARGS = frozenset(
+    {"shard_by", "shard_top_k", "shard_workers", "n_hash_shards", "batch_scoring"}
+)
+
+#: Constructors the deprecated scoring knobs ride on.  Other callables with
+#: same-named parameters (e.g. ``shard_arms(..., shard_by=...)``, where the
+#: parameter is the live API) are not flagged.
+SCORING_KWARG_CALLEES = frozenset({"MabConfig", "SimulationOptions", "FleetConfig"})
+
+#: Files that implement the scoring-knob shims and may spell them freely.
+SCORING_SHIM_FILES = frozenset(
+    {
+        "src/repro/core/config.py",
+        "src/repro/core/tuner.py",
+        "src/repro/api/session.py",
+        "src/repro/fleet/specs.py",
+    }
+)
+
 
 def _module_of_import(node: ast.Import | ast.ImportFrom) -> list[str]:
     if isinstance(node, ast.Import):
@@ -84,6 +110,7 @@ class PublicSurfaceRule(Rule):
             findings.extend(self._check_example_imports(source_file))
         if source_file.top_level_dir in ("src", "examples"):
             findings.extend(self._check_deprecated_imports(source_file))
+            findings.extend(self._check_deprecated_scoring_kwargs(source_file))
         if source_file.relative_path in ALL_AUDITED_FILES or any(
             source_file.relative_path.startswith(prefix)
             for prefix in ALL_AUDITED_PREFIXES
@@ -159,6 +186,44 @@ class PublicSurfaceRule(Rule):
                                 f"use {replacement} (see docs/API.md deprecations)"
                             ),
                         )
+
+    # ------------------------------------------------------------------ #
+    # deprecated scoring knobs
+    # ------------------------------------------------------------------ #
+    def _check_deprecated_scoring_kwargs(
+        self, source_file: "SourceFile"
+    ) -> Iterator["Finding"]:
+        from ..model import Finding
+
+        if source_file.relative_path in SCORING_SHIM_FILES:
+            return
+        for node in ast.walk(source_file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            name = (
+                callee.id
+                if isinstance(callee, ast.Name)
+                else callee.attr
+                if isinstance(callee, ast.Attribute)
+                else None
+            )
+            if name not in SCORING_KWARG_CALLEES:
+                continue
+            for keyword in node.keywords:
+                if keyword.arg in DEPRECATED_SCORING_KWARGS:
+                    yield Finding(
+                        rule=self.id,
+                        path=source_file.relative_path,
+                        line=keyword.value.lineno,
+                        col=keyword.value.col_offset,
+                        message=(
+                            f"deprecated scoring knob {name}({keyword.arg}=...); "
+                            "spell it scoring=ScoringConfig(...) "
+                            "(see docs/API.md deprecations)"
+                        ),
+                        symbol=f"{name}.{keyword.arg}",
+                    )
 
     # ------------------------------------------------------------------ #
     # __all__ audit
