@@ -400,6 +400,55 @@ def score_packed(
 _SHM_PREFIX = "reproscore"
 _SHM_COUNTER = itertools.count()
 
+@runtime_checkable
+class _ScoringObserver(Protocol):
+    """Hook surface for the opt-in shared-memory sanitizer.
+
+    ``tools.reprolint.shmsan`` installs an implementation when
+    ``REPRO_SHM_SAN=1``; production runs never pay for it (the hook is a
+    module-level ``None`` check).  The observer learns which row ranges each
+    worker was assigned (to assert the writes are disjoint) and when the
+    pool shuts down (the point at which its ledger must balance).
+    """
+
+    def record_writer_ranges(
+        self, segment_name: str, runs: Sequence[tuple[tuple[int, int], ...]]
+    ) -> None: ...  # pragma: no cover - protocol
+
+    def pool_shutdown(self) -> None: ...  # pragma: no cover - protocol
+
+
+_SCORING_OBSERVER: _ScoringObserver | None = None
+_SAN_AUTOINSTALL_TRIED = False
+
+
+def _install_scoring_observer(observer: _ScoringObserver | None) -> None:
+    """Install (or, with ``None``, clear) the sanitizer observer."""
+    global _SCORING_OBSERVER
+    _SCORING_OBSERVER = observer
+
+
+def _maybe_autoinstall_sanitizer() -> None:
+    """Install ``tools.reprolint.shmsan`` once when ``REPRO_SHM_SAN=1``.
+
+    Runs before the first executor is created so fork-started workers
+    inherit the patched :class:`~multiprocessing.shared_memory.SharedMemory`
+    class.  A repo checkout is the only place the sanitizer exists; an
+    installed ``repro`` package without ``tools/`` silently skips it.
+    """
+    global _SAN_AUTOINSTALL_TRIED
+    if _SAN_AUTOINSTALL_TRIED:
+        return
+    _SAN_AUTOINSTALL_TRIED = True
+    if os.environ.get("REPRO_SHM_SAN") != "1" or _SCORING_OBSERVER is not None:
+        return
+    try:
+        from tools.reprolint import shmsan
+    except ImportError:  # pragma: no cover - installed-package runs
+        return
+    shmsan.install(force=True)
+
+
 #: Lazily created, reused process pools keyed by worker count.  Reuse
 #: amortises the fork cost across rounds; a BrokenProcessPool discards the
 #: pool so the next pass starts fresh.
@@ -410,6 +459,8 @@ def _shutdown_executors() -> None:
     for executor in _EXECUTORS.values():
         executor.shutdown(wait=False, cancel_futures=True)
     _EXECUTORS.clear()
+    if _SCORING_OBSERVER is not None:
+        _SCORING_OBSERVER.pool_shutdown()
 
 
 atexit.register(_shutdown_executors)
@@ -427,6 +478,8 @@ def _discard_executor(workers: int) -> None:
     executor = _EXECUTORS.pop(workers, None)
     if executor is not None:
         executor.shutdown(wait=False, cancel_futures=True)
+        if _SCORING_OBSERVER is not None:
+            _SCORING_OBSERVER.pool_shutdown()
 
 
 def _attach(name: str) -> shared_memory.SharedMemory:
@@ -512,9 +565,16 @@ def _create_segment(data: np.ndarray) -> shared_memory.SharedMemory:
     array = np.ascontiguousarray(data, dtype=np.float64)
     name = f"{_SHM_PREFIX}_{os.getpid()}_{next(_SHM_COUNTER)}"
     segment = shared_memory.SharedMemory(name=name, create=True, size=max(1, array.nbytes))
-    view = np.ndarray(array.shape, dtype=np.float64, buffer=segment.buf)
-    view[...] = array
-    del view
+    try:
+        view = np.ndarray(array.shape, dtype=np.float64, buffer=segment.buf)
+        view[...] = array
+        del view
+    except BaseException:
+        # The segment exists in /dev/shm the moment create succeeds; if the
+        # copy-in dies the caller never sees the handle, so release it here.
+        segment.close()
+        segment.unlink()
+        raise
     return segment
 
 
@@ -533,6 +593,7 @@ def _score_blocks_processes(
     ``finally`` block on *every* path, including the crash one, so no
     ``/dev/shm`` residue can survive.
     """
+    _maybe_autoinstall_sanitizer()
     segments: list[shared_memory.SharedMemory] = []
     try:
         try:
@@ -557,6 +618,8 @@ def _score_blocks_processes(
             "scores": (scores_seg.name, (pool.n_arms,)),
         }
         runs = _partition_blocks(pool.block_slices(), workers)
+        if _SCORING_OBSERVER is not None:
+            _SCORING_OBSERVER.record_writer_ranges(scores_seg.name, runs)
         shm_bytes = sum(segment.size for segment in segments)
         try:
             executor = _executor(workers)

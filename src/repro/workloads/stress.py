@@ -416,7 +416,7 @@ class SchemaGrowthWorkload(StressWorkload):
         schedule = self.growth_schedule()
         first_round_queries: list[Query] | None = None
         for round_number in range(1, self.n_rounds + 1):
-            events: tuple = ()
+            events: tuple[TableGrowthEvent, ...] = ()
             arriving = schedule.get(round_number)
             if arriving is not None:
                 active_tables.add(arriving)
@@ -508,7 +508,7 @@ class TierMigrationWorkload(StressWorkload):
 # --------------------------------------------------------------------- #
 # canonical fingerprints (determinism pinning)
 # --------------------------------------------------------------------- #
-def query_fingerprint(query: Query) -> tuple:
+def query_fingerprint(query: Query) -> tuple[object, ...]:
     """Everything observable about a query except its instance ordinal.
 
     ``query_id`` carries a per-template instance counter that keeps ticking
@@ -525,7 +525,7 @@ def query_fingerprint(query: Query) -> tuple:
     )
 
 
-def round_fingerprint(workload_round: WorkloadRound) -> tuple:
+def round_fingerprint(workload_round: WorkloadRound) -> tuple[object, ...]:
     """Canonical content of one round: queries, protocol flags and events."""
     return (
         workload_round.round_number,
@@ -537,7 +537,7 @@ def round_fingerprint(workload_round: WorkloadRound) -> tuple:
     )
 
 
-def sequence_fingerprint(rounds: list[WorkloadRound]) -> tuple:
+def sequence_fingerprint(rounds: list[WorkloadRound]) -> tuple[object, ...]:
     """Canonical content of a whole materialised sequence."""
     return tuple(round_fingerprint(workload_round) for workload_round in rounds)
 

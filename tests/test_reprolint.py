@@ -794,3 +794,533 @@ class TestRepoIsClean:
         assert wall_clock_paths == set(WALL_CLOCK_ALLOWLIST)
         # Nothing else may appear when only the allowlist changes.
         assert {finding.rule for finding in report.findings} <= {"RL001"}
+
+
+# --------------------------------------------------------------------------- #
+# RL006 shared-memory lifecycle
+# --------------------------------------------------------------------------- #
+class TestRL006ShmLifecycle:
+    def test_create_without_unlink_flagged(self, tmp_path):
+        report = lint(
+            tmp_path,
+            {
+                "src/pkg/shm.py": """
+                    import itertools
+                    import os
+                    from multiprocessing import shared_memory
+
+                    _COUNTER = itertools.count()
+
+                    def publish() -> None:
+                        name = f"reproscore_{os.getpid()}_{next(_COUNTER)}"
+                        seg = shared_memory.SharedMemory(name=name, create=True, size=64)
+                        seg.close()
+                    """
+            },
+        )
+        assert "RL006" in rules_of(report)
+        assert "close()+unlink()" in report.findings[0].message
+
+    def test_finally_release_clean(self, tmp_path):
+        report = lint(
+            tmp_path,
+            {
+                "src/pkg/shm.py": """
+                    import itertools
+                    import os
+                    from multiprocessing import shared_memory
+
+                    _COUNTER = itertools.count()
+
+                    def publish(payload: bytes) -> None:
+                        name = f"reproscore_{os.getpid()}_{next(_COUNTER)}"
+                        seg = shared_memory.SharedMemory(name=name, create=True, size=64)
+                        try:
+                            seg.buf[: len(payload)] = payload
+                        finally:
+                            seg.close()
+                            seg.unlink()
+                    """
+            },
+        )
+        assert report.findings == []
+
+    def test_mutation_deleting_finally_unlink_fires(self, tmp_path):
+        """The ISSUE's mutation check: drop the unlink from the finally and
+        RL006 must fire — proof the exceptional-path analysis is live."""
+        report = lint(
+            tmp_path,
+            {
+                "src/pkg/shm.py": """
+                    import itertools
+                    import os
+                    from multiprocessing import shared_memory
+
+                    _COUNTER = itertools.count()
+
+                    def publish(payload: bytes) -> None:
+                        name = f"reproscore_{os.getpid()}_{next(_COUNTER)}"
+                        seg = shared_memory.SharedMemory(name=name, create=True, size=64)
+                        try:
+                            seg.buf[: len(payload)] = payload
+                        finally:
+                            seg.close()
+                    """
+            },
+        )
+        assert rules_of(report) == ["RL006"]
+
+    def test_escape_by_return_is_ownership_transfer(self, tmp_path):
+        report = lint(
+            tmp_path,
+            {
+                "src/pkg/shm.py": """
+                    import itertools
+                    import os
+                    from multiprocessing import shared_memory
+
+                    _COUNTER = itertools.count()
+
+                    def make_segment():
+                        name = f"reproscore_{os.getpid()}_{next(_COUNTER)}"
+                        segment = shared_memory.SharedMemory(name=name, create=True, size=64)
+                        return segment
+                    """
+            },
+        )
+        assert report.findings == []
+
+    def test_attach_side_unlink_flagged(self, tmp_path):
+        report = lint(
+            tmp_path,
+            {
+                "src/pkg/shm.py": """
+                    from multiprocessing import shared_memory
+
+                    def read_segment(name: str) -> bytes:
+                        seg = shared_memory.SharedMemory(name=name)
+                        try:
+                            return bytes(seg.buf[:4])
+                        finally:
+                            seg.close()
+                            seg.unlink()
+                    """
+            },
+        )
+        assert "RL006" in rules_of(report)
+        assert any("never unlink()" in f.message for f in report.findings)
+
+    def test_attach_close_only_clean(self, tmp_path):
+        report = lint(
+            tmp_path,
+            {
+                "src/pkg/shm.py": """
+                    from multiprocessing import shared_memory
+
+                    def read_segment(name: str) -> bytes:
+                        seg = shared_memory.SharedMemory(name=name)
+                        try:
+                            return bytes(seg.buf[:4])
+                        finally:
+                            seg.close()
+                    """
+            },
+        )
+        assert report.findings == []
+
+    def test_fixed_literal_and_uuid_names_flagged(self, tmp_path):
+        report = lint(
+            tmp_path,
+            {
+                "src/pkg/shm.py": """
+                    import uuid
+                    from multiprocessing import shared_memory
+
+                    def fixed() -> None:
+                        seg = shared_memory.SharedMemory(name="scores", create=True, size=8)
+                        seg.close()
+                        seg.unlink()
+
+                    def randomised() -> None:
+                        seg = shared_memory.SharedMemory(
+                            name=f"seg_{uuid.uuid4()}", create=True, size=8
+                        )
+                        seg.close()
+                        seg.unlink()
+
+                    def unnamed() -> None:
+                        seg = shared_memory.SharedMemory(create=True, size=8)
+                        seg.close()
+                        seg.unlink()
+                    """
+            },
+        )
+        assert rules_of(report).count("RL006") == 3
+        messages = " ".join(f.message for f in report.findings)
+        assert "fixed-literal" in messages
+        assert "uuid" in messages
+
+
+# --------------------------------------------------------------------------- #
+# RL007 fork safety
+# --------------------------------------------------------------------------- #
+class TestRL007ForkSafety:
+    def test_worker_mutating_module_global_flagged(self, tmp_path):
+        report = lint(
+            tmp_path,
+            {
+                "src/pkg/pool.py": """
+                    from concurrent.futures import ProcessPoolExecutor
+
+                    RESULTS: list[int] = []
+
+                    def worker(block: int) -> int:
+                        RESULTS.append(block)
+                        return block
+
+                    def run(blocks: list[int]) -> list[int]:
+                        with ProcessPoolExecutor(max_workers=2) as pool:
+                            futures = [pool.submit(worker, b) for b in blocks]
+                        return [f.result() for f in futures]
+                    """
+            },
+        )
+        assert "RL007" in rules_of(report)
+        assert any("module-global" in f.message for f in report.findings)
+
+    def test_lambda_submission_flagged(self, tmp_path):
+        report = lint(
+            tmp_path,
+            {
+                "src/pkg/pool.py": """
+                    from concurrent.futures import ProcessPoolExecutor
+
+                    def run(items: list[int]) -> list[int]:
+                        pool = ProcessPoolExecutor(max_workers=2)
+                        try:
+                            futures = [pool.submit(lambda item: item + 1, item) for item in items]
+                            return [f.result() for f in futures]
+                        finally:
+                            pool.shutdown()
+                    """
+            },
+        )
+        assert "RL007" in rules_of(report)
+        assert any("lambda" in f.message for f in report.findings)
+
+    def test_wall_clock_reachable_from_worker_flagged(self, tmp_path):
+        report = lint(
+            tmp_path,
+            {
+                "src/pkg/pool.py": """
+                    import time
+                    from concurrent.futures import ProcessPoolExecutor
+
+                    def _stamp() -> float:
+                        return time.time()
+
+                    def worker(block: int) -> tuple[float, int]:
+                        return (_stamp(), block)
+
+                    def run(blocks: list[int]) -> list[tuple[float, int]]:
+                        pool = ProcessPoolExecutor(max_workers=2)
+                        try:
+                            return [pool.submit(worker, b).result() for b in blocks]
+                        finally:
+                            pool.shutdown()
+                    """
+            },
+        )
+        rl007 = [f for f in report.findings if f.rule == "RL007"]
+        assert any("wall clock" in f.message for f in rl007)
+
+    def test_thread_constructed_before_pool_flagged(self, tmp_path):
+        report = lint(
+            tmp_path,
+            {
+                "src/pkg/pool.py": """
+                    import threading
+                    from concurrent.futures import ProcessPoolExecutor
+
+                    _LOCK = threading.Lock()
+
+                    def make_pool() -> ProcessPoolExecutor:
+                        return ProcessPoolExecutor(max_workers=2)
+                    """
+            },
+        )
+        rl007 = [f for f in report.findings if f.rule == "RL007"]
+        assert any("before the process pool" in f.message for f in rl007)
+
+    def test_clean_worker_module_passes(self, tmp_path):
+        report = lint(
+            tmp_path,
+            {
+                "src/pkg/pool.py": """
+                    import numpy as np
+                    from concurrent.futures import ProcessPoolExecutor
+                    from multiprocessing import shared_memory
+
+                    def worker(
+                        name: str,
+                        shape: tuple[int, ...],
+                        blocks: tuple[tuple[int, int], ...],
+                    ) -> None:
+                        seg = shared_memory.SharedMemory(name=name)
+                        try:
+                            scores = np.ndarray(shape, dtype=np.float64, buffer=seg.buf)
+                            for start, stop in blocks:
+                                scores[start:stop] = 1.0
+                            del scores
+                        finally:
+                            seg.close()
+
+                    def run(
+                        name: str,
+                        shape: tuple[int, ...],
+                        runs: list[tuple[tuple[int, int], ...]],
+                    ) -> None:
+                        pool = ProcessPoolExecutor(max_workers=2)
+                        try:
+                            futures = [pool.submit(worker, name, shape, r) for r in runs]
+                            for future in futures:
+                                future.result()
+                        finally:
+                            pool.shutdown()
+                    """
+            },
+        )
+        assert report.findings == []
+
+
+# --------------------------------------------------------------------------- #
+# RL008 disjoint writes
+# --------------------------------------------------------------------------- #
+_RL008_MODULE = """
+    import numpy as np
+    from concurrent.futures import ProcessPoolExecutor
+    from multiprocessing import shared_memory
+
+    def worker(
+        name: str,
+        shape: tuple[int, ...],
+        blocks: tuple[tuple[int, int], ...],
+    ) -> None:
+        seg = shared_memory.SharedMemory(name=name)
+        try:
+            scores = np.ndarray(shape, dtype=np.float64, buffer=seg.buf)
+            {write}
+            del scores
+        finally:
+            seg.close()
+
+    def run(
+        name: str,
+        shape: tuple[int, ...],
+        runs: list[tuple[tuple[int, int], ...]],
+    ) -> None:
+        pool = ProcessPoolExecutor(max_workers=2)
+        try:
+            for future in [pool.submit(worker, name, shape, r) for r in runs]:
+                future.result()
+        finally:
+            pool.shutdown()
+"""
+
+
+class TestRL008DisjointWrites:
+    def _lint_with_write(self, tmp_path, write: str):
+        return lint(tmp_path, {"src/pkg/pool.py": _RL008_MODULE.format(write=write)})
+
+    def test_block_range_slice_clean(self, tmp_path):
+        report = self._lint_with_write(
+            tmp_path,
+            "for start, stop in blocks:\n                scores[start:stop] = 1.0",
+        )
+        assert report.findings == []
+
+    def test_mutation_whole_array_store_fires(self, tmp_path):
+        """The ISSUE's mutation check: a whole-array store must be a finding."""
+        report = self._lint_with_write(tmp_path, "scores[:] = 1.0")
+        assert rules_of(report) == ["RL008"]
+
+    def test_element_store_fires(self, tmp_path):
+        report = self._lint_with_write(tmp_path, "scores[0] = 1.0")
+        assert rules_of(report) == ["RL008"]
+
+    def test_computed_slice_fires(self, tmp_path):
+        report = self._lint_with_write(
+            tmp_path,
+            "for start, stop in blocks:\n                scores[start : stop + 1] = 1.0",
+        )
+        assert rules_of(report) == ["RL008"]
+
+    def test_view_from_container_tracked(self, tmp_path):
+        report = self._lint_with_write(
+            tmp_path,
+            "views = {}\n            views['scores'] = scores\n"
+            "            out = views['scores']\n            out[:] = 1.0",
+        )
+        assert "RL008" in rules_of(report)
+
+
+# --------------------------------------------------------------------------- #
+# RL009 exception-safe release
+# --------------------------------------------------------------------------- #
+class TestRL009ExceptionSafety:
+    def test_file_handle_leaked_on_raise_path_flagged(self, tmp_path):
+        report = lint(
+            tmp_path,
+            {
+                "src/pkg/io_mod.py": """
+                    def read_header(path: str) -> str:
+                        handle = open(path)
+                        data = handle.read(16)
+                        handle.close()
+                        return data
+                    """
+            },
+        )
+        assert rules_of(report) == ["RL009"]
+        assert "exceptional path" in report.findings[0].message
+
+    def test_with_block_clean(self, tmp_path):
+        report = lint(
+            tmp_path,
+            {
+                "src/pkg/io_mod.py": """
+                    def read_header(path: str) -> str:
+                        with open(path) as handle:
+                            return handle.read(16)
+                    """
+            },
+        )
+        assert report.findings == []
+
+    def test_pool_orphaned_on_raise_flagged(self, tmp_path):
+        report = lint(
+            tmp_path,
+            {
+                "src/pkg/pool.py": """
+                    from concurrent.futures import ProcessPoolExecutor
+
+                    def job(block: int) -> int:
+                        return block
+
+                    def run(blocks: list[int]) -> list[int]:
+                        pool = ProcessPoolExecutor(max_workers=2)
+                        futures = [pool.submit(job, b) for b in blocks]
+                        results = [f.result() for f in futures]
+                        pool.shutdown()
+                        return results
+                    """
+            },
+        )
+        assert "RL009" in rules_of(report)
+        assert any("process/thread pool" in f.message for f in report.findings)
+
+    def test_pool_handed_to_cache_is_ownership_transfer(self, tmp_path):
+        report = lint(
+            tmp_path,
+            {
+                "src/pkg/pool.py": """
+                    from concurrent.futures import ProcessPoolExecutor
+
+                    _CACHE: dict[int, ProcessPoolExecutor] = {}
+
+                    def executor(workers: int) -> ProcessPoolExecutor:
+                        pool = _CACHE.get(workers)
+                        if pool is None:
+                            pool = ProcessPoolExecutor(max_workers=workers)
+                            _CACHE[workers] = pool
+                        return pool
+                    """
+            },
+        )
+        assert report.findings == []
+
+
+# --------------------------------------------------------------------------- #
+# multi-rule suppressions (regression) and output formats
+# --------------------------------------------------------------------------- #
+class TestMultiRuleSuppression:
+    def test_comma_separated_codes_all_honoured(self, tmp_path):
+        """Regression: a single comment naming two rule families must silence
+        *both* findings on its line (and neither may come back as stale)."""
+        report = lint(
+            tmp_path,
+            {
+                "src/pkg/pool.py": """
+                    import time
+                    from concurrent.futures import ProcessPoolExecutor
+
+                    def worker(block: int) -> float:
+                        return time.time() + block  # reprolint: disable=RL001,RL007 -- fixture: clock read on a worker line
+
+                    def run(blocks: list[int]) -> list[float]:
+                        pool = ProcessPoolExecutor(max_workers=2)
+                        try:
+                            return [pool.submit(worker, b).result() for b in blocks]
+                        finally:
+                            pool.shutdown()
+                    """
+            },
+        )
+        assert report.findings == []
+        assert sorted(f.rule for f, _ in report.suppressed) == ["RL001", "RL007"]
+
+    def test_duplicate_codes_deduped(self, tmp_path):
+        from tools.reprolint.model import parse_suppressions
+
+        suppressions = parse_suppressions(
+            "src/pkg/mod.py",
+            "x = 1  # reprolint: disable=RL001,RL001,RL004 -- why\n",
+        )
+        assert len(suppressions) == 1
+        assert suppressions[0].rules == ("RL001", "RL004")
+
+
+class TestOutputFormats:
+    FIXTURE = {
+        "src/pkg/mod.py": """
+            import time
+
+            def stamp() -> float:
+                return time.time()
+            """
+    }
+
+    def test_github_format_emits_error_commands(self, tmp_path, capsys):
+        write_project(tmp_path, self.FIXTURE)
+        code = reprolint_main(["--root", str(tmp_path), "--format", "github", "src"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "::error file=src/pkg/mod.py,line=" in out
+        assert "title=reprolint RL001::" in out
+
+    def test_sarif_report_written(self, tmp_path, capsys):
+        write_project(tmp_path, self.FIXTURE)
+        sarif_path = tmp_path / "out" / "reprolint.sarif"
+        code = reprolint_main(["--root", str(tmp_path), "--sarif", str(sarif_path), "src"])
+        capsys.readouterr()
+        assert code == 1
+        document = json.loads(sarif_path.read_text(encoding="utf-8"))
+        assert document["version"] == "2.1.0"
+        run = document["runs"][0]
+        assert run["tool"]["driver"]["name"] == "reprolint"
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert set(registered_rule_ids()) <= rule_ids
+        result = run["results"][0]
+        assert result["ruleId"] == "RL001"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/pkg/mod.py"
+        assert location["region"]["startLine"] >= 1
+
+    def test_sarif_clean_run_has_no_results(self, tmp_path, capsys):
+        write_project(tmp_path, {"src/pkg/mod.py": "VALUE = 1\n"})
+        sarif_path = tmp_path / "clean.sarif"
+        code = reprolint_main(["--root", str(tmp_path), "--sarif", str(sarif_path), "src"])
+        capsys.readouterr()
+        assert code == 0
+        document = json.loads(sarif_path.read_text(encoding="utf-8"))
+        assert document["runs"][0]["results"] == []

@@ -1,0 +1,453 @@
+"""Tests for the reprolint flow engine (``tools.reprolint.flow``) and the
+runtime shared-memory sanitizer (``tools.reprolint.shmsan``).
+
+Three layers:
+
+* **CFG construction** — basic blocks and edges over straight-line code,
+  branches, loops (including ``while True``), ``with``, ``try/finally``
+  (whose finaliser is duplicated per continuation) and dead code;
+* **resource dataflow** — the acquired/released/escaped lattice: joins at
+  merge points keep the leaky path visible, exception edges carry pre-call
+  state, escapes transfer ownership, and one level of helper summaries
+  propagates acquisitions across calls;
+* **shmsan** — the ledger balances a clean create/close/unlink cycle, trips
+  on deliberate leaks, attach-side unlinks and overlapping writer ranges,
+  and a real ``workers=2`` packed scoring pass runs leak-free under
+  ``REPRO_SHM_SAN=1`` with bit-identical scores.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT) not in sys.path:  # `tools` lives at the repo root, not in src/
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.reprolint import shmsan  # noqa: E402
+from tools.reprolint.flow import (  # noqa: E402
+    FILE,
+    SHM_CREATE,
+    analyse_resources,
+    build_cfg,
+)
+from tools.reprolint.model import load_source_file  # noqa: E402
+from tools.reprolint.project import ProjectIndex  # noqa: E402
+
+
+def _cfg(source: str):
+    node = ast.parse(textwrap.dedent(source)).body[0]
+    assert isinstance(node, ast.FunctionDef)
+    return build_cfg(node)
+
+
+def _analyse(tmp_path: Path, source: str, function_name: str):
+    path = tmp_path / "src" / "pkg" / "mod.py"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    index = ProjectIndex.build([load_source_file(path, tmp_path)])
+    function = next(
+        f for f in index.iter_functions() if f.node.name == function_name
+    )
+    # An (empty) shared summaries cache switches helper-summary inlining on —
+    # passing None is how the engine cuts recursion at one level.
+    return analyse_resources(function, index, {})
+
+
+# --------------------------------------------------------------------------- #
+# CFG construction
+# --------------------------------------------------------------------------- #
+class TestCfgConstruction:
+    def test_straight_line_reaches_exit(self):
+        cfg = _cfg(
+            """
+            def f():
+                x = 1
+                return x
+            """
+        )
+        reachable = cfg.reachable()
+        assert cfg.exit in reachable
+        assert len(cfg.blocks_for(ast.Return)) == 1
+
+    def test_if_else_branches_join(self):
+        cfg = _cfg(
+            """
+            def f(flag):
+                if flag:
+                    x = 1
+                else:
+                    x = 2
+                return x
+            """
+        )
+        (return_block,) = cfg.blocks_for(ast.Return)
+        # Both branch bodies fall through into a join block that feeds the
+        # single return block.
+        (join_index,) = return_block.preds
+        assert len(cfg.blocks[join_index].preds) == 2
+        assert len(cfg.blocks_for(ast.Assign)) == 2
+        assert cfg.exit in cfg.reachable()
+
+    def test_while_true_without_break_has_no_normal_exit(self):
+        cfg = _cfg(
+            """
+            def f():
+                while True:
+                    pass
+            """
+        )
+        assert cfg.exit not in cfg.reachable()
+
+    def test_while_true_with_break_exits(self):
+        cfg = _cfg(
+            """
+            def f():
+                while True:
+                    break
+            """
+        )
+        assert cfg.exit in cfg.reachable()
+
+    def test_try_finally_finaliser_duplicated_per_continuation(self):
+        cfg = _cfg(
+            """
+            def f(x):
+                try:
+                    risky(x)
+                finally:
+                    cleanup()
+            """
+        )
+        finaliser_blocks = [
+            block
+            for block in cfg.blocks_for(ast.Expr)
+            if isinstance(block.stmt.value, ast.Call)
+            and isinstance(block.stmt.value.func, ast.Name)
+            and block.stmt.value.func.id == "cleanup"
+        ]
+        # The finaliser is duplicated once per continuation target (the
+        # fall-through exit and the raise path at minimum) — never shared.
+        assert len(finaliser_blocks) >= 2
+        assert cfg.exit in cfg.reachable()
+        assert cfg.raise_exit in cfg.reachable()
+
+    def test_with_block_body_reachable(self):
+        cfg = _cfg(
+            """
+            def f(path):
+                with open(path) as handle:
+                    return handle.read()
+            """
+        )
+        assert cfg.blocks_for(ast.With)
+        assert cfg.exit in cfg.reachable()
+
+    def test_for_else_flows_through_orelse(self):
+        cfg = _cfg(
+            """
+            def f(items):
+                for item in items:
+                    use(item)
+                else:
+                    finish()
+                return None
+            """
+        )
+        assert cfg.blocks_for(ast.For)
+        assert cfg.exit in cfg.reachable()
+
+    def test_code_after_return_is_unreachable(self):
+        cfg = _cfg(
+            """
+            def f():
+                return 1
+                x = 2
+            """
+        )
+        dead = [
+            block
+            for block in cfg.blocks_for(ast.Assign)
+            if block.index not in cfg.reachable()
+        ]
+        assert dead
+
+
+# --------------------------------------------------------------------------- #
+# resource-state dataflow
+# --------------------------------------------------------------------------- #
+class TestResourceDataflow:
+    def test_join_at_merge_keeps_leaky_path_visible(self, tmp_path):
+        analysis = _analyse(
+            tmp_path,
+            """
+            from multiprocessing import shared_memory
+
+            def f(flag):
+                seg = shared_memory.SharedMemory(name="x", create=True, size=8)
+                if flag:
+                    seg.close()
+                    seg.unlink()
+            """,
+            "f",
+        )
+        assert len(analysis.leaks) == 1
+        leak = analysis.leaks[0]
+        assert leak.site.kind == SHM_CREATE
+        assert leak.on_normal_exit
+
+    def test_release_on_both_branches_is_clean(self, tmp_path):
+        analysis = _analyse(
+            tmp_path,
+            """
+            from multiprocessing import shared_memory
+
+            def f(flag):
+                seg = shared_memory.SharedMemory(name="x", create=True, size=8)
+                if flag:
+                    seg.close()
+                    seg.unlink()
+                else:
+                    seg.close()
+                    seg.unlink()
+            """,
+            "f",
+        )
+        assert analysis.leaks == []
+
+    def test_raise_path_leak_detected(self, tmp_path):
+        analysis = _analyse(
+            tmp_path,
+            """
+            def f(path):
+                handle = open(path)
+                data = handle.read()
+                handle.close()
+                return data
+            """,
+            "f",
+        )
+        assert len(analysis.leaks) == 1
+        leak = analysis.leaks[0]
+        assert leak.site.kind == FILE
+        assert leak.on_raise_exit
+        assert not leak.on_normal_exit
+
+    def test_exception_edge_carries_pre_call_state(self, tmp_path):
+        # If the acquiring call itself raises, the name was never bound —
+        # the raise path must not report a phantom leak.
+        analysis = _analyse(
+            tmp_path,
+            """
+            from multiprocessing import shared_memory
+
+            def f():
+                seg = shared_memory.SharedMemory(name="x", create=True, size=8)
+                seg.close()
+                seg.unlink()
+            """,
+            "f",
+        )
+        assert analysis.leaks == []
+
+    def test_store_into_module_cache_escapes(self, tmp_path):
+        analysis = _analyse(
+            tmp_path,
+            """
+            from multiprocessing import shared_memory
+
+            _CACHE = {}
+
+            def f():
+                seg = shared_memory.SharedMemory(name="x", create=True, size=8)
+                _CACHE["seg"] = seg
+            """,
+            "f",
+        )
+        assert analysis.leaks == []
+
+    def test_with_managed_file_is_satisfied(self, tmp_path):
+        analysis = _analyse(
+            tmp_path,
+            """
+            def f(path):
+                with open(path) as handle:
+                    return handle.read()
+            """,
+            "f",
+        )
+        assert analysis.leaks == []
+
+    def test_loop_reassignment_with_release_is_clean(self, tmp_path):
+        analysis = _analyse(
+            tmp_path,
+            """
+            def f(paths):
+                for path in paths:
+                    handle = open(path)
+                    handle.close()
+                return None
+            """,
+            "f",
+        )
+        assert analysis.leaks == []
+
+    def test_loop_without_release_leaks(self, tmp_path):
+        analysis = _analyse(
+            tmp_path,
+            """
+            def f(paths):
+                for path in paths:
+                    handle = open(path)
+                return None
+            """,
+            "f",
+        )
+        assert len(analysis.leaks) == 1
+        assert analysis.leaks[0].site.kind == FILE
+
+    def test_helper_summary_propagates_acquisition(self, tmp_path):
+        source = """
+            def _make(path):
+                handle = open(path)
+                return handle
+
+            def releases(path):
+                handle = _make(path)
+                handle.close()
+                return None
+
+            def leaks(path):
+                handle = _make(path)
+                return None
+            """
+        clean = _analyse(tmp_path, source, "releases")
+        # The raise path between acquisition and close still leaks (close
+        # is not in a finally) — but the *normal* path must be satisfied.
+        assert all(not leak.on_normal_exit for leak in clean.leaks)
+        leaky = _analyse(tmp_path, source, "leaks")
+        assert any(
+            leak.on_normal_exit and leak.site.kind == FILE
+            for leak in leaky.leaks
+        )
+
+
+# --------------------------------------------------------------------------- #
+# shmsan: the runtime sanitizer
+# --------------------------------------------------------------------------- #
+@pytest.fixture
+def armed_sanitizer():
+    shmsan.reset()
+    shmsan.install(force=True)
+    yield
+    shmsan.uninstall()
+    shmsan.reset()
+
+
+class TestShmSanLedger:
+    def test_install_requires_env_or_force(self, monkeypatch):
+        monkeypatch.delenv(shmsan.ENV_VAR, raising=False)
+        assert shmsan.install() is False
+        assert not shmsan.installed()
+
+    def test_balanced_cycle_verifies(self, armed_sanitizer):
+        from multiprocessing import shared_memory
+
+        name = f"reproscore_sanok_{os.getpid()}"
+        seg = shared_memory.SharedMemory(name=name, create=True, size=16)
+        seg.close()
+        seg.unlink()
+        ledger = shmsan.verify(require_activity=True)
+        assert ledger.creates_seen == 1
+        assert ledger.violations == []
+
+    def test_deliberate_leak_trips(self, armed_sanitizer):
+        """The ISSUE's mutation check: an unlink-less segment must fail."""
+        from multiprocessing import shared_memory
+
+        name = f"reproscore_sanleak_{os.getpid()}"
+        seg = shared_memory.SharedMemory(name=name, create=True, size=16)
+        seg.close()
+        try:
+            with pytest.raises(shmsan.ShmSanError, match="never unlinked"):
+                shmsan.verify()
+        finally:
+            residue = shmsan._ORIGINAL_SHARED_MEMORY(name=name)
+            residue.unlink()
+            residue.close()
+
+    def test_never_closed_segment_trips(self, armed_sanitizer):
+        shmsan.ledger().record_open("ghost", created=True, size=8)
+        shmsan.ledger().record_unlink("ghost")
+        with pytest.raises(shmsan.ShmSanError, match="never closed"):
+            shmsan.verify()
+
+    def test_attach_side_unlink_is_a_violation(self, armed_sanitizer):
+        ledger = shmsan.ledger()
+        ledger.record_open("seg", created=False, size=8)
+        ledger.record_close("seg")
+        ledger.record_unlink("seg")
+        with pytest.raises(shmsan.ShmSanError, match="attach-side unlink"):
+            shmsan.verify()
+
+    def test_overlapping_writer_ranges_trip(self, armed_sanitizer):
+        shmsan.ledger().note_writer_ranges("scores", [((0, 5),), ((4, 8),)])
+        with pytest.raises(shmsan.ShmSanError, match="overlapping writer"):
+            shmsan.verify()
+
+    def test_disjoint_writer_ranges_pass(self, armed_sanitizer):
+        shmsan.ledger().note_writer_ranges("scores", [((0, 5), (5, 8)), ((8, 12),)])
+        shmsan.verify()
+
+    def test_require_activity_rejects_idle_ledger(self, armed_sanitizer):
+        with pytest.raises(shmsan.ShmSanError, match="no shared-memory activity"):
+            shmsan.verify(require_activity=True)
+
+    def test_reset_clears_ledger(self, armed_sanitizer):
+        shmsan.ledger().record_open("seg", created=True, size=8)
+        shmsan.reset()
+        assert shmsan.ledger().records == {}
+
+
+class TestSanitizedScoringEndToEnd:
+    def test_workers2_pass_is_leak_free_and_bit_identical(self, monkeypatch):
+        from repro.core import scoring
+
+        monkeypatch.setenv(shmsan.ENV_VAR, "1")
+        monkeypatch.setattr(scoring, "_SAN_AUTOINSTALL_TRIED", False)
+        monkeypatch.setattr(scoring, "_SCORING_OBSERVER", None)
+        shmsan.reset()
+        try:
+            rng = np.random.default_rng(11)
+            blocks = [rng.normal(size=(16, 6)) for _ in range(4)]
+            positions = [list(range(b * 16, (b + 1) * 16)) for b in range(4)]
+            sizes = [[128] * 16 for _ in range(4)]
+            pool = scoring.pack_arm_pool(
+                blocks, positions, sizes, [f"s{b}" for b in range(4)]
+            )
+            theta = rng.normal(size=6)
+            v_inverse = np.eye(6)
+            parallel = scoring.score_packed(
+                pool, theta, v_inverse, alpha=0.5, workers=2
+            )
+            if not parallel.used_processes:
+                pytest.skip("shared-memory process pool unavailable here")
+            # Shutting the pool down triggers the observer's ledger check.
+            scoring._shutdown_executors()
+            ledger = shmsan.verify(require_activity=True)
+            assert ledger.creates_seen >= 4
+            assert ledger.violations == []
+            assert ledger.leaks() == []
+            assert "scores" in " ".join(ledger.writer_ranges) or ledger.writer_ranges
+            serial = scoring.score_packed(pool, theta, v_inverse, alpha=0.5, workers=1)
+            np.testing.assert_array_equal(parallel.scores, serial.scores)
+        finally:
+            shmsan.uninstall()
+            shmsan.reset()

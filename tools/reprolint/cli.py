@@ -20,7 +20,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m tools.reprolint",
         description=(
             "Repo-native static analysis: determinism, picklability, registry "
-            "discipline, shard safety, public-surface hygiene."
+            "discipline, shard safety, public-surface hygiene, shared-memory "
+            "lifecycle, fork safety, exception-safe resource release."
         ),
     )
     parser.add_argument(
@@ -38,6 +39,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         metavar="FILE",
         help="also write the machine-readable report to FILE ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "github"),
+        default="text",
+        help=(
+            "finding output style: 'text' (editor-clickable lines) or "
+            "'github' (::error workflow commands for inline PR annotations)"
+        ),
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="FILE",
+        help="also write a SARIF 2.1.0 report to FILE (code-scanning upload)",
     )
     parser.add_argument(
         "--list-rules",
@@ -61,6 +76,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"reprolint: error: {error}", file=sys.stderr)
         return 2
 
+    if args.sarif:
+        report.write_sarif(Path(args.sarif))
     if args.json == "-":
         import json
 
@@ -68,7 +85,10 @@ def main(argv: list[str] | None = None) -> int:
     else:
         if args.json:
             report.write_json(Path(args.json))
-        print(report.render_text())
+        rendered = (
+            report.render_github() if args.format == "github" else report.render_text()
+        )
+        print(rendered)
     return report.exit_code
 
 

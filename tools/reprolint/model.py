@@ -135,8 +135,15 @@ def parse_suppressions(relative_path: str, source: str) -> list[Suppression]:
             continue
         comment_line = token.start[0]
         applies_to = comment_line if comment_line in code_lines else comment_line + 1
+        # Every comma-separated code is honoured; dedupe repeats (keeping
+        # first-seen order) so ``disable=RL001,RL001`` can't double-count in
+        # RL000 messages or the stale check.
         rules = tuple(
-            rule.strip() for rule in match.group("rules").split(",") if rule.strip()
+            dict.fromkeys(
+                rule.strip()
+                for rule in match.group("rules").split(",")
+                if rule.strip()
+            )
         )
         suppressions.append(
             Suppression(
